@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or in-text artifacts
+(see DESIGN.md's per-experiment index).  Workload sizes default to something
+that completes in a few seconds; set ``REPRO_FULL=1`` in the environment to
+run the paper-sized workloads (N up to 1024).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_runs_requested() -> bool:
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session")
+def experiment_sizes() -> tuple[int, ...]:
+    """Problem sizes for the speedup experiments."""
+    if full_runs_requested():
+        return (128, 512, 1024)
+    return (128, 384)
+
+
+@pytest.fixture(scope="session")
+def experiment_steps() -> int:
+    return 2 if not full_runs_requested() else 8
+
+
+@pytest.fixture(scope="session")
+def speedup_table(experiment_sizes, experiment_steps):
+    """The headline measurement, shared by the TIMES and SPEEDUP benches."""
+    from repro.bench import run_speedup_experiment
+
+    return run_speedup_experiment(ns=experiment_sizes, steps=experiment_steps)

@@ -1,0 +1,63 @@
+"""Experiment E8 — attribute the lost speedup to the paper's four causes.
+
+The results section explains the sub-linear speedups by (1) static
+scheduling, (2) unexploited subtree parallelism inside compute_force,
+(3) slow synchronization, (4) unoptimized iteration granularity.  The
+ablation removes each cost in turn on the simulated machine and checks that
+every one of them indeed accounts for part of the gap, and that removing all
+of them (plus parallelizing the tree build) approaches linear speedup.
+"""
+
+import pytest
+
+from repro.bench import (
+    loss_attribution,
+    scheduling_ablation,
+    subtree_parallelism_ablation,
+    sync_cost_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def attribution():
+    return loss_attribution(n=256, pes=4, steps=1)
+
+
+def test_every_listed_cause_contributes(attribution):
+    print()
+    print(attribution.render())
+    assert attribution.baseline_speedup < 3.2  # the paper-like sub-linear baseline
+    for name, value in attribution.variants.items():
+        assert value >= attribution.baseline_speedup - 1e-9, name
+    # static scheduling and granularity are the dominant recoverable losses
+    assert attribution.improvement("dynamic scheduling (one fork/join per pass)") > 0.2
+    assert attribution.improvement("coarser granularity (4 particles per task)") > 0.1
+
+
+def test_removing_everything_approaches_linear(attribution):
+    combined = attribution.variants["all of the above + parallel tree build"]
+    assert combined > 3.5
+    assert combined <= 4.0 + 1e-6
+
+
+def test_scheduling_and_sync_sweeps():
+    sched = scheduling_ablation(n=256, pes=7, steps=1)
+    print()
+    print(sched.render())
+    assert sched.variants["dynamic"] >= sched.baseline_speedup
+    sync = sync_cost_ablation(n=256, pes=4, sync_costs=(0.0, 10.0, 50.0))
+    print(sync.render())
+    assert sync.variants["sync=0"] >= sync.variants["sync=50"]
+    subtree = subtree_parallelism_ablation(n=256, pes=4)
+    print(subtree.render())
+    assert all(v <= 4.0 + 1e-6 for v in subtree.variants.values())
+
+
+def test_benchmark_loss_attribution(benchmark):
+    result = benchmark.pedantic(
+        loss_attribution,
+        kwargs=dict(n=128, pes=4, steps=1),
+        iterations=1,
+        rounds=3,
+    )
+    assert result.variants

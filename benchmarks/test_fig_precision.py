@@ -1,0 +1,41 @@
+"""Experiment E5 — Figures 1/2 behaviourally: analysis precision comparison.
+
+The paper's Figure 1 shows that structures with very different properties can
+be built from the same node type, and section 2.1 argues that prior analyses
+(conservative, k-limited storage graphs) cannot recover those properties.
+This benchmark compares the three oracles on the list-traversal question and
+validates the runtime-checker side of the figure: a genuine one-way list
+satisfies the OneWayList declaration while the "tournament" sharing structure
+does not.
+"""
+
+from repro.adds import check_heap_against_declaration, declaration
+from repro.bench.figures import precision_comparison
+from repro.structures import OneWayList, build_tournament_list
+
+
+def test_precision_comparison_table():
+    comparison = precision_comparison()
+    print()
+    print(comparison.render())
+    adds_row = comparison.row("ADDS + GPM")
+    assert adds_row.proves_traversal_independent
+    assert not comparison.row("conservative").proves_traversal_independent
+    assert not comparison.row("k-limited (k=2)").proves_traversal_independent
+    assert adds_row.precision_score >= max(
+        comparison.row("conservative").precision_score,
+        comparison.row("k-limited (k=2)").precision_score,
+    )
+
+
+def test_figure1_structures_are_distinguished_dynamically():
+    lst = OneWayList.from_iterable(range(32))
+    assert check_heap_against_declaration(lst.heap, declaration("OneWayList")) == []
+    heap, _ = build_tournament_list(list(range(16)))
+    assert check_heap_against_declaration(heap, declaration("OneWayList")) != []
+    assert check_heap_against_declaration(heap, declaration("TournamentList")) == []
+
+
+def test_benchmark_precision_comparison(benchmark):
+    result = benchmark(precision_comparison)
+    assert len(result.rows) == 3

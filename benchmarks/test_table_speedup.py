@@ -1,0 +1,51 @@
+"""Experiment E2 — the SPEEDUP table of section 4.4.
+
+Paper values: par(4) = 2.5 / 2.7 / 2.8 and par(7) = 3.3 / 4.1 / 4.3 for
+N = 128 / 512 / 1024.  The benchmark regenerates the table on the simulated
+machine and asserts the paper's qualitative claims (and, for the N values the
+paper reports, quantitative agreement within a band).
+"""
+
+import pytest
+
+from repro.bench import PAPER_SPEEDUPS, compare_with_paper, format_speedup_table, run_speedup_experiment
+from repro.bench.tables import qualitative_checks
+
+
+def test_speedup_table_matches_paper(speedup_table):
+    table = speedup_table
+    print()
+    print(format_speedup_table(table))
+    print(compare_with_paper(table))
+
+    # every qualitative claim of the paper's table must hold
+    failed = [claim for claim, ok in qualitative_checks(table) if not ok]
+    assert not failed, f"shape checks failed: {failed}"
+
+    # quantitative band for the N values the paper actually reports
+    for pes in (4, 7):
+        for n in table.ns:
+            expected = PAPER_SPEEDUPS.get(pes, {}).get(n)
+            if expected is None:
+                continue
+            tolerance = 0.5 if pes == 4 else 0.7
+            assert abs(table.speedup(n, pes) - expected) <= tolerance
+
+
+def test_speedup_improves_with_problem_size(speedup_table):
+    """The paper's trend: larger N gives (weakly) better speedup."""
+    table = speedup_table
+    for pes in (4, 7):
+        speedups = [table.speedup(n, pes) for n in table.ns]
+        assert all(b >= a - 0.05 for a, b in zip(speedups, speedups[1:]))
+
+
+def test_benchmark_full_speedup_experiment(benchmark, experiment_steps):
+    """pytest-benchmark target: the whole (reduced) speedup sweep."""
+    result = benchmark.pedantic(
+        run_speedup_experiment,
+        kwargs=dict(ns=(96,), pe_counts=(4, 7), steps=1),
+        iterations=1,
+        rounds=3,
+    )
+    assert result.speedup(96, 7) > result.speedup(96, 4) > 1.0

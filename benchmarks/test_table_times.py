@@ -1,0 +1,75 @@
+"""Experiment E1 — the TIMES table of section 4.4.
+
+The paper reports wall-clock seconds of the sequential and strip-mined
+Barnes–Hut program on a Sequent (80 time steps, N ∈ {128, 512, 1024}).  The
+benchmark measures the simulated elapsed time of the same schedule on the
+Sequent-like machine model, prints the regenerated table (calibrated so the
+sequential N=128 entry equals the paper's 188 s), and checks the time ratios
+the table implies.
+"""
+
+import pytest
+
+from repro.bench import PAPER_TIMES, format_times_table, run_speedup_experiment
+from repro.bench.tables import DEFAULT_DISTRIBUTION, DEFAULT_SEED, DEFAULT_THETA
+from repro.machine import SEQUENT_LIKE
+from repro.nbody import BarnesHutSimulation, SimulationConfig, StripMinedParallelSimulation, make_particles
+
+
+def test_times_table_reproduces_paper_shape(speedup_table):
+    """The regenerated TIMES table preserves the paper's orderings."""
+    table = speedup_table
+    print()
+    print(format_times_table(table))
+    for n in table.ns:
+        seq = table.cell(n, 1).elapsed_units
+        par4 = table.cell(n, 4).elapsed_units
+        par7 = table.cell(n, 7).elapsed_units
+        # parallel is faster, and 7 PEs beat 4 PEs — for every problem size
+        assert par4 < seq
+        assert par7 < par4
+    # times grow super-linearly with N (the O(N log N) algorithm), as in the paper
+    assert table.cell(table.ns[-1], 1).elapsed_units > table.cell(table.ns[0], 1).elapsed_units * (
+        table.ns[-1] / table.ns[0]
+    )
+
+
+def test_paper_time_ratios_match_within_tolerance(speedup_table):
+    """seq/par time ratios (the quantity independent of calibration) match the paper."""
+    table = speedup_table
+    for pes in (4, 7):
+        for n in table.ns:
+            if n not in PAPER_TIMES[1]:
+                continue
+            paper_ratio = PAPER_TIMES[1][n] / PAPER_TIMES[pes][n]
+            ours = table.cell(n, 1).elapsed_units / table.cell(n, pes).elapsed_units
+            assert ours == pytest.approx(paper_ratio, rel=0.25)
+
+
+def test_benchmark_sequential_time_step(benchmark):
+    """pytest-benchmark target: one sequential Barnes–Hut time step (N=128)."""
+    config = SimulationConfig(
+        n=128, steps=1, theta=DEFAULT_THETA, distribution=DEFAULT_DISTRIBUTION, seed=DEFAULT_SEED
+    )
+
+    def run_one_step():
+        particles = make_particles(128, DEFAULT_DISTRIBUTION, seed=DEFAULT_SEED)
+        return BarnesHutSimulation(particles, config).run().total_work
+
+    work = benchmark(run_one_step)
+    assert work > 0
+
+
+def test_benchmark_parallel_time_step(benchmark):
+    """pytest-benchmark target: one strip-mined 4-PE time step (N=128)."""
+    config = SimulationConfig(
+        n=128, steps=1, theta=DEFAULT_THETA, distribution=DEFAULT_DISTRIBUTION, seed=DEFAULT_SEED
+    )
+
+    def run_one_step():
+        particles = make_particles(128, DEFAULT_DISTRIBUTION, seed=DEFAULT_SEED)
+        sim = StripMinedParallelSimulation(particles, config, SEQUENT_LIKE.with_pes(4))
+        return sim.run().elapsed
+
+    elapsed = benchmark(run_one_step)
+    assert elapsed > 0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's section 4.4 tables (experiments E1 and E2).
+
+Runs the Barnes–Hut N-body simulation sequentially and strip-mined over the
+simulated Sequent-like machine for N in {128, 512, 1024} and 4/7 processors,
+prints the TIMES and SPEEDUP tables next to the paper's numbers, and checks
+the qualitative shape claims.
+
+Run:  python examples/nbody_speedup_table.py [--steps STEPS] [--full]
+
+``--full`` uses the paper's 80 time steps (slow: several minutes of pure
+Python); the default 2 steps gives the same speedups to within a few percent
+because per-step work is nearly constant.
+"""
+
+import argparse
+
+from repro.bench import (
+    PAPER_TIMES,
+    compare_with_paper,
+    format_speedup_table,
+    format_times_table,
+    run_speedup_experiment,
+)
+from repro.bench.figures import bhl1_pathmatrix_figure
+from repro.nbody import BHL1_FUNCTION, BHL2_FUNCTION, barnes_hut_toy_program
+from repro.transform import classify_loop
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=2, help="time steps per run")
+    parser.add_argument("--full", action="store_true", help="use the paper's 80 steps")
+    parser.add_argument(
+        "--ns", type=int, nargs="+", default=[128, 512, 1024], help="problem sizes"
+    )
+    args = parser.parse_args()
+    steps = 80 if args.full else args.steps
+
+    # First, the compiler-side story: the analysis that makes the
+    # transformation legal at all.
+    program = barnes_hut_toy_program()
+    print("== dependence analysis of the Barnes-Hut loops (toy-language program) ==")
+    for name, label in ((BHL1_FUNCTION, "BHL1"), (BHL2_FUNCTION, "BHL2")):
+        with_adds = classify_loop(program, name, use_adds=True)
+        without = classify_loop(program, name, use_adds=False)
+        print(f"{label}: with ADDS -> {with_adds.classification}; "
+              f"without ADDS -> {without.classification}")
+    print()
+    figure = bhl1_pathmatrix_figure()
+    print(figure.render())
+    print()
+
+    # Then the measured tables.
+    print(f"== running the speedup experiment (steps={steps}) ==")
+    table = run_speedup_experiment(ns=tuple(args.ns), steps=steps)
+    print()
+    print(format_times_table(table))
+    print()
+    print("(paper, seconds)")
+    for pes in (1, 4, 7):
+        label = "seq" if pes == 1 else f"par({pes})"
+        row = "  ".join(f"{PAPER_TIMES[pes].get(n, float('nan')):7.0f}" for n in args.ns)
+        print(f"{label:>8}  {row}")
+    print()
+    print(format_speedup_table(table))
+    print()
+    print(compare_with_paper(table))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Sparse matrices as orthogonal lists (section 3.1.3, Figure 3).
+
+Builds an orthogonal-list sparse matrix, validates its heap against the
+OrthList ADDS declaration (two dependent dimensions X and Y, each acyclic
+with unique forward edges), runs a sparse matrix–vector product using the
+row traversals, checks it against NumPy, and shows that the per-row scaling
+loops are exactly the kind of disjoint traversals the paper's analysis can
+parallelize.
+
+Run:  python examples/sparse_matrix_orthlist.py
+"""
+
+import random
+
+import numpy as np
+
+from repro.adds import check_heap_against_declaration, declaration, derive_properties
+from repro.adds.library import merged_into
+from repro.structures import OrthogonalListMatrix
+from repro.transform import classify_loop
+
+
+ROW_SCALE_SRC = """
+function scale_row(rowhead, factor)
+{ var p;
+  p = rowhead;
+  while p <> NULL
+  { p->data = p->data * factor;
+    p = p->across;
+  }
+  return rowhead;
+}
+"""
+
+
+def main() -> None:
+    adds = declaration("OrthList")
+    print("== the OrthList ADDS declaration ==")
+    print(adds.describe())
+    print(derive_properties(adds).summary())
+    print()
+
+    rng = random.Random(7)
+    rows, cols, density = 12, 16, 0.2
+    dense = [
+        [rng.randint(1, 9) if rng.random() < density else 0 for _ in range(cols)]
+        for _ in range(rows)
+    ]
+    matrix = OrthogonalListMatrix.from_dense(dense)
+    print(f"built a {rows}x{cols} orthogonal-list matrix with "
+          f"{matrix.nonzero_count()} stored elements "
+          f"({matrix.heap.allocation_count} heap nodes including headers)")
+
+    violations = check_heap_against_declaration(matrix.heap, adds)
+    print(f"runtime shape check: {'valid' if not violations else violations}")
+
+    vector = [rng.randint(-3, 3) for _ in range(cols)]
+    ours = matrix.matvec(vector)
+    reference = (np.array(dense) @ np.array(vector)).tolist()
+    print(f"sparse mat-vec matches NumPy: {ours == reference}")
+    print(f"column sums via the Y dimension: {matrix.column_sums()}")
+    print()
+
+    # the compiler-side story: a row-scaling traversal over `across`
+    program = merged_into(ROW_SCALE_SRC, "OrthList")
+    with_adds = classify_loop(program, "scale_row", use_adds=True)
+    without = classify_loop(program, "scale_row", use_adds=False)
+    print("row-scaling loop over the `across` links:")
+    print(f"  with the OrthList declaration: {with_adds.classification}")
+    print(f"  without structure information: {without.classification}")
+    print("  (each row is disjoint, so different rows could additionally be "
+          "processed by different processors — the property Figure 3 illustrates)")
+
+
+if __name__ == "__main__":
+    main()

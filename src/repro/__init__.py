@@ -1,0 +1,41 @@
+"""repro — reproduction of Hummel, Nicolau & Hendren (ICPP 1992).
+
+"Applying an Abstract Data Structure Description Approach to Parallelizing
+Scientific Pointer Programs": programmer-supplied shape declarations (ADDS)
+drive a general path matrix analysis that validates the declarations,
+answers alias queries, and licenses parallelizing transformations of pointer
+traversal loops — demonstrated on a Barnes–Hut N-body tree code.
+
+Subpackages
+-----------
+``repro.lang``
+    The analyzable imperative pointer language (parser, interpreter, CFGs).
+``repro.adds``
+    ADDS declarations, the standard library of them, and the runtime checker.
+``repro.pathmatrix``
+    General path matrix analysis plus the conservative and k-limited baselines.
+``repro.transform``
+    Dependence testing, strip-mining, unrolling, software pipelining.
+``repro.machine``
+    The simulated shared-memory multiprocessor (the Sequent substitute).
+``repro.nbody``
+    The Barnes–Hut application, native and in the toy language.
+``repro.structures``
+    The paper's example data structures over the analyzable heap.
+``repro.bench``
+    The experiment harness regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "lang",
+    "adds",
+    "pathmatrix",
+    "transform",
+    "machine",
+    "nbody",
+    "structures",
+    "bench",
+    "__version__",
+]

@@ -1,0 +1,111 @@
+"""Static well-formedness checks for ADDS declarations.
+
+These checks catch declarations that cannot describe any structure or that
+violate the restrictions spelled out in the paper (section 3.1.2):
+
+* a field traverses exactly one dimension in exactly one direction (enforced
+  syntactically, but re-checked here),
+* every declared dimension should be traversed by at least one field,
+* independence clauses must relate distinct, declared dimensions,
+* a dimension with only ``backward`` fields has no way to move away from the
+  origin (suspicious — reported as a warning-severity issue),
+* a field marked ``uniquely`` must also be ``forward`` (the paper only ever
+  uses "uniquely forward"; "uniquely backward" would be meaningless for the
+  disjointness arguments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adds.declaration import AddsType, Direction
+
+
+@dataclass(frozen=True)
+class WellFormednessIssue:
+    """One problem found in a declaration."""
+
+    type_name: str
+    severity: str  # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.type_name}: {self.message}"
+
+
+def check_well_formed(adds: AddsType) -> list[WellFormednessIssue]:
+    """Return the list of issues for one ADDS type (empty when well formed)."""
+    issues: list[WellFormednessIssue] = []
+
+    def error(msg: str) -> None:
+        issues.append(WellFormednessIssue(adds.name, "error", msg))
+
+    def warning(msg: str) -> None:
+        issues.append(WellFormednessIssue(adds.name, "warning", msg))
+
+    # every field's dimension must exist (constructor already enforces this,
+    # but hand-built AddsType objects may skip the constructor)
+    for spec in adds.fields.values():
+        if spec.dimension not in adds.dimensions:
+            error(f"field {spec.name!r} traverses undeclared dimension {spec.dimension!r}")
+        if spec.unique and spec.direction is not Direction.FORWARD:
+            error(
+                f"field {spec.name!r} is declared 'uniquely {spec.direction}'; "
+                "only 'uniquely forward' is meaningful"
+            )
+        if spec.fanout < 1:
+            error(f"field {spec.name!r} has non-positive fanout {spec.fanout}")
+
+    # dimensions should be inhabited
+    for dim in adds.dimensions.values():
+        if not dim.all_fields():
+            warning(f"dimension {dim.name!r} is not traversed by any field")
+        elif not dim.forward_fields and dim.backward_fields:
+            warning(
+                f"dimension {dim.name!r} has only backward fields; "
+                "no traversal moves away from the origin"
+            )
+
+    # independence clauses
+    for pair in adds.independences:
+        names = sorted(pair)
+        if len(names) != 2:
+            error(f"independence clause must relate two distinct dimensions: {names}")
+            continue
+        for d in names:
+            if d not in adds.dimensions:
+                error(f"independence clause mentions undeclared dimension {d!r}")
+
+    # co-declared groups must share dimension and direction
+    groups: dict[int, list] = {}
+    for spec in adds.fields.values():
+        if spec.group is not None:
+            groups.setdefault(spec.group, []).append(spec)
+    for group_id, members in groups.items():
+        dims = {m.dimension for m in members}
+        dirs = {m.direction for m in members}
+        if len(dims) > 1:
+            error(
+                f"fields declared together ({', '.join(m.name for m in members)}) "
+                f"traverse different dimensions {sorted(dims)}"
+            )
+        if len(dirs) > 1:
+            error(
+                f"fields declared together ({', '.join(m.name for m in members)}) "
+                f"have different directions"
+            )
+    return issues
+
+
+def check_all(types: dict[str, AddsType]) -> dict[str, list[WellFormednessIssue]]:
+    """Check every declaration; only types with issues appear in the result."""
+    result: dict[str, list[WellFormednessIssue]] = {}
+    for name, adds in types.items():
+        issues = check_well_formed(adds)
+        if issues:
+            result[name] = issues
+    return result
+
+
+def has_errors(issues: list[WellFormednessIssue]) -> bool:
+    return any(issue.severity == "error" for issue in issues)

@@ -1,0 +1,65 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.bench.expected` — the numbers printed in the paper (section 4.4),
+* :mod:`repro.bench.tables` — the TIMES and SPEEDUP tables (experiments E1/E2),
+* :mod:`repro.bench.figures` — the in-text path matrices and precision/
+  validation demonstrations (experiments E3–E6),
+* :mod:`repro.bench.ablation` — the speedup-loss attribution sweeps (E8) and
+  the strip-mine ablation (E7).
+
+``benchmarks/`` contains one pytest-benchmark target per experiment, each a
+thin wrapper over the functions here; ``examples/nbody_speedup_table.py``
+prints the full tables from the command line.
+"""
+
+from repro.bench.expected import (
+    PAPER_TIMES,
+    PAPER_SPEEDUPS,
+    PAPER_NS,
+    PAPER_PE_COUNTS,
+    PAPER_TIME_STEPS,
+)
+from repro.bench.tables import (
+    SpeedupCell,
+    SpeedupTable,
+    run_speedup_experiment,
+    format_times_table,
+    format_speedup_table,
+    compare_with_paper,
+)
+from repro.bench.figures import (
+    polynomial_pathmatrix_figure,
+    bhl1_pathmatrix_figure,
+    precision_comparison,
+    validation_trace_figure,
+)
+from repro.bench.ablation import (
+    AblationResult,
+    loss_attribution,
+    scheduling_ablation,
+    sync_cost_ablation,
+    subtree_parallelism_ablation,
+)
+
+__all__ = [
+    "PAPER_TIMES",
+    "PAPER_SPEEDUPS",
+    "PAPER_NS",
+    "PAPER_PE_COUNTS",
+    "PAPER_TIME_STEPS",
+    "SpeedupCell",
+    "SpeedupTable",
+    "run_speedup_experiment",
+    "format_times_table",
+    "format_speedup_table",
+    "compare_with_paper",
+    "polynomial_pathmatrix_figure",
+    "bhl1_pathmatrix_figure",
+    "precision_comparison",
+    "validation_trace_figure",
+    "AblationResult",
+    "loss_attribution",
+    "scheduling_ablation",
+    "sync_cost_ablation",
+    "subtree_parallelism_ablation",
+]

@@ -1,0 +1,52 @@
+"""The paper's reported numbers (section 4.4).
+
+The original experiment: the transformed Barnes–Hut program on a Sequent
+multiprocessor, 80 time steps, N ∈ {128, 512, 1024}, sequential vs. 4 and 7
+processors.  "All times represent seconds."
+"""
+
+from __future__ import annotations
+
+
+#: problem sizes of the paper's table
+PAPER_NS: tuple[int, ...] = (128, 512, 1024)
+
+#: processor counts of the paper's table (1 == the sequential run)
+PAPER_PE_COUNTS: tuple[int, ...] = (1, 4, 7)
+
+#: simulation length used by the paper
+PAPER_TIME_STEPS: int = 80
+
+#: TIMES table, seconds: PAPER_TIMES[pes][n]
+PAPER_TIMES: dict[int, dict[int, float]] = {
+    1: {128: 188.0, 512: 1496.0, 1024: 3768.0},
+    4: {128: 75.0, 512: 548.0, 1024: 1343.0},
+    7: {128: 57.0, 512: 369.0, 1024: 873.0},
+}
+
+#: SPEEDUP table: PAPER_SPEEDUPS[pes][n]
+PAPER_SPEEDUPS: dict[int, dict[int, float]] = {
+    1: {128: 1.0, 512: 1.0, 1024: 1.0},
+    4: {128: 2.5, 512: 2.7, 1024: 2.8},
+    7: {128: 3.3, 512: 4.1, 1024: 4.3},
+}
+
+
+def paper_speedup(pes: int, n: int) -> float:
+    return PAPER_SPEEDUPS[pes][n]
+
+
+def paper_time(pes: int, n: int) -> float:
+    return PAPER_TIMES[pes][n]
+
+
+def paper_qualitative_claims() -> list[str]:
+    """The shape properties the reproduction is expected to preserve."""
+    return [
+        "par(4) and par(7) are both faster than sequential for every N",
+        "par(7) is faster than par(4) for every N",
+        "speedups are sub-linear (below the processor count)",
+        "speedup improves (weakly) as N grows, for both 4 and 7 processors",
+        "4-processor speedup lies in roughly the 2.3-3.1 band",
+        "7-processor speedup lies in roughly the 3.1-4.7 band",
+    ]

@@ -1,0 +1,307 @@
+"""A small fluent API for constructing toy-language programs from Python.
+
+Mostly used by tests and by the transformation passes when they need to
+synthesize helper functions (e.g. the ``_BHL1_iteration`` procedure emitted
+by strip-mining).  For anything longer, writing surface syntax and calling
+:func:`repro.lang.parser.parse_program` is usually clearer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lang.ast_nodes import (
+    AddsFieldSpec,
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Call,
+    Expr,
+    ExprStmt,
+    FieldAccess,
+    FieldAssign,
+    FieldDecl,
+    FloatLit,
+    For,
+    FunctionDecl,
+    If,
+    IndexAccess,
+    IntLit,
+    Name,
+    New,
+    NullLit,
+    ParallelFor,
+    Param,
+    Program,
+    Return,
+    Stmt,
+    StringLit,
+    TypeDecl,
+    UnaryOp,
+    VarDecl,
+    While,
+)
+
+
+def _expr(value) -> Expr:
+    """Coerce a Python value or AST node into an expression node."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return BoolLit(value)
+    if isinstance(value, int):
+        return IntLit(value)
+    if isinstance(value, float):
+        return FloatLit(value)
+    if isinstance(value, str):
+        return Name(value)
+    if value is None:
+        return NullLit()
+    raise TypeError(f"cannot coerce {value!r} to an expression")
+
+
+class E:
+    """Expression constructors (static helpers)."""
+
+    @staticmethod
+    def name(ident: str) -> Name:
+        return Name(ident)
+
+    @staticmethod
+    def lit(value) -> Expr:
+        if isinstance(value, str):
+            return StringLit(value)
+        return _expr(value)
+
+    @staticmethod
+    def null() -> NullLit:
+        return NullLit()
+
+    @staticmethod
+    def new(type_name: str) -> New:
+        return New(type_name)
+
+    @staticmethod
+    def field(base, field_name: str) -> FieldAccess:
+        return FieldAccess(base=_expr(base), field=field_name)
+
+    @staticmethod
+    def index(base, idx) -> IndexAccess:
+        return IndexAccess(base=_expr(base), index=_expr(idx))
+
+    @staticmethod
+    def call(func: str, *args) -> Call:
+        return Call(func=func, args=[_expr(a) for a in args])
+
+    @staticmethod
+    def binop(op: str, left, right) -> BinOp:
+        return BinOp(op=op, left=_expr(left), right=_expr(right))
+
+    @staticmethod
+    def add(left, right) -> BinOp:
+        return E.binop("+", left, right)
+
+    @staticmethod
+    def sub(left, right) -> BinOp:
+        return E.binop("-", left, right)
+
+    @staticmethod
+    def mul(left, right) -> BinOp:
+        return E.binop("*", left, right)
+
+    @staticmethod
+    def div(left, right) -> BinOp:
+        return E.binop("/", left, right)
+
+    @staticmethod
+    def eq(left, right) -> BinOp:
+        return E.binop("==", left, right)
+
+    @staticmethod
+    def ne(left, right) -> BinOp:
+        return E.binop("<>", left, right)
+
+    @staticmethod
+    def lt(left, right) -> BinOp:
+        return E.binop("<", left, right)
+
+    @staticmethod
+    def le(left, right) -> BinOp:
+        return E.binop("<=", left, right)
+
+    @staticmethod
+    def not_(operand) -> UnaryOp:
+        return UnaryOp(op="not", operand=_expr(operand))
+
+    @staticmethod
+    def neg(operand) -> UnaryOp:
+        return UnaryOp(op="-", operand=_expr(operand))
+
+
+class S:
+    """Statement constructors (static helpers)."""
+
+    @staticmethod
+    def var(name: str, init=None) -> VarDecl:
+        return VarDecl(name=name, init=_expr(init) if init is not None else None)
+
+    @staticmethod
+    def assign(target: str, value) -> Assign:
+        return Assign(target=target, value=_expr(value))
+
+    @staticmethod
+    def store(base, field_name: str, value, index=None) -> FieldAssign:
+        return FieldAssign(
+            base=_expr(base),
+            field=field_name,
+            value=_expr(value),
+            index=_expr(index) if index is not None else None,
+        )
+
+    @staticmethod
+    def expr(expression) -> ExprStmt:
+        return ExprStmt(expr=_expr(expression))
+
+    @staticmethod
+    def call(func: str, *args) -> ExprStmt:
+        return ExprStmt(expr=E.call(func, *args))
+
+    @staticmethod
+    def ret(value=None) -> Return:
+        return Return(value=_expr(value) if value is not None else None)
+
+    @staticmethod
+    def block(*stmts: Stmt) -> Block:
+        return Block(statements=list(stmts))
+
+    @staticmethod
+    def if_(cond, then: Sequence[Stmt], else_: Sequence[Stmt] | None = None) -> If:
+        return If(
+            cond=_expr(cond),
+            then_body=Block(statements=list(then)),
+            else_body=Block(statements=list(else_)) if else_ is not None else None,
+        )
+
+    @staticmethod
+    def while_(cond, body: Sequence[Stmt]) -> While:
+        return While(cond=_expr(cond), body=Block(statements=list(body)))
+
+    @staticmethod
+    def for_(var: str, lo, hi, body: Sequence[Stmt], step=None) -> For:
+        return For(
+            var=var,
+            lo=_expr(lo),
+            hi=_expr(hi),
+            body=Block(statements=list(body)),
+            step=_expr(step) if step is not None else None,
+        )
+
+    @staticmethod
+    def parallel_for(var: str, lo, hi, body: Sequence[Stmt]) -> ParallelFor:
+        return ParallelFor(var=var, lo=_expr(lo), hi=_expr(hi), body=Block(statements=list(body)))
+
+
+class ProgramBuilder:
+    """Accumulate type and function declarations into a :class:`Program`."""
+
+    def __init__(self):
+        self.program = Program()
+
+    # -- types --------------------------------------------------------------
+    def type(
+        self,
+        name: str,
+        dimensions: Sequence[str] = (),
+        independences: Sequence[tuple[str, str]] = (),
+    ) -> "TypeBuilder":
+        decl = TypeDecl(
+            name=name,
+            dimensions=list(dimensions),
+            independences=list(independences),
+        )
+        self.program.types.append(decl)
+        return TypeBuilder(decl)
+
+    # -- functions ----------------------------------------------------------
+    def function(
+        self, name: str, params: Sequence[str] = (), body: Sequence[Stmt] = ()
+    ) -> FunctionDecl:
+        func = FunctionDecl(
+            name=name,
+            params=[Param(name=p) for p in params],
+            body=Block(statements=list(body)),
+        )
+        self.program.functions.append(func)
+        return func
+
+    def procedure(
+        self, name: str, params: Sequence[str] = (), body: Sequence[Stmt] = ()
+    ) -> FunctionDecl:
+        func = self.function(name, params, body)
+        func.is_procedure = True
+        return func
+
+    def build(self) -> Program:
+        return self.program
+
+
+class TypeBuilder:
+    """Fluent helper for adding fields to a type declaration."""
+
+    def __init__(self, decl: TypeDecl):
+        self.decl = decl
+        self._group = 0
+
+    def data(self, name: str, type_name: str = "int") -> "TypeBuilder":
+        self.decl.fields.append(FieldDecl(name=name, type_name=type_name, is_pointer=False))
+        return self
+
+    def pointer(
+        self,
+        name: str,
+        type_name: str | None = None,
+        dimension: str | None = None,
+        direction: str = "unknown",
+        unique: bool = False,
+        array_size: int | None = None,
+        group: int | None = None,
+    ) -> "TypeBuilder":
+        adds = None
+        if dimension is not None:
+            adds = AddsFieldSpec(dimension=dimension, direction=direction, unique=unique)
+        self.decl.fields.append(
+            FieldDecl(
+                name=name,
+                type_name=type_name or self.decl.name,
+                is_pointer=True,
+                array_size=array_size,
+                adds=adds,
+                group=group,
+            )
+        )
+        return self
+
+    def pointer_group(
+        self,
+        names: Sequence[str],
+        type_name: str | None = None,
+        dimension: str | None = None,
+        direction: str = "forward",
+        unique: bool = True,
+    ) -> "TypeBuilder":
+        """Declare several pointer fields together (shared ADDS spec + group)."""
+        self._group += 1
+        for n in names:
+            self.pointer(
+                n,
+                type_name=type_name,
+                dimension=dimension,
+                direction=direction,
+                unique=unique,
+                group=self._group,
+            )
+        return self
+
+    def done(self) -> TypeDecl:
+        return self.decl

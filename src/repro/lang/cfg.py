@@ -1,0 +1,236 @@
+"""Control-flow graphs for functions of the toy language.
+
+The path-matrix dataflow analysis (:mod:`repro.pathmatrix.analysis`) iterates
+to a fixed point over this CFG.  Basic blocks contain *simple* statements
+only (assignments, field assignments, var decls, expression statements,
+returns); structured control flow (``if``/``while``/``for``) is lowered to
+edges between blocks, with the branch condition attached to the edge-owning
+block so analyses may refine facts on the true/false branches (e.g. the
+``p <> NULL`` test of a traversal loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Block,
+    Expr,
+    ExprStmt,
+    FieldAssign,
+    For,
+    FunctionDecl,
+    If,
+    IntLit,
+    Name,
+    ParallelFor,
+    Return,
+    Stmt,
+    VarDecl,
+    While,
+    BinOp,
+)
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of simple statements."""
+
+    index: int
+    label: str = ""
+    statements: list[Stmt] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+    branch_condition: Expr | None = None
+    # loop bookkeeping for the transformation passes
+    loop_header_of: Stmt | None = None
+
+    def add_statement(self, stmt: Stmt) -> None:
+        self.statements.append(stmt)
+
+    def __iter__(self) -> Iterator[Stmt]:
+        return iter(self.statements)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BasicBlock({self.index}, {self.label!r}, {len(self.statements)} stmts)"
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of a single function."""
+
+    function: str
+    blocks: list[BasicBlock] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 0
+
+    def new_block(self, label: str = "") -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks), label=label)
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].successors:
+            self.blocks[src].successors.append(dst)
+        if src not in self.blocks[dst].predecessors:
+            self.blocks[dst].predecessors.append(src)
+
+    def block(self, index: int) -> BasicBlock:
+        return self.blocks[index]
+
+    def reverse_postorder(self) -> list[int]:
+        """Return block indices in reverse postorder from the entry block."""
+        visited: set[int] = set()
+        order: list[int] = []
+
+        def dfs(idx: int) -> None:
+            visited.add(idx)
+            for succ in self.blocks[idx].successors:
+                if succ not in visited:
+                    dfs(succ)
+            order.append(idx)
+
+        dfs(self.entry)
+        order.reverse()
+        # include unreachable blocks at the end so analyses stay total
+        for blk in self.blocks:
+            if blk.index not in visited:
+                order.append(blk.index)
+        return order
+
+    def loop_headers(self) -> list[int]:
+        """Blocks that are targets of a back edge (approximate, DFS-based)."""
+        headers: set[int] = set()
+        visited: set[int] = set()
+        stack: set[int] = set()
+
+        def dfs(idx: int) -> None:
+            visited.add(idx)
+            stack.add(idx)
+            for succ in self.blocks[idx].successors:
+                if succ in stack:
+                    headers.add(succ)
+                elif succ not in visited:
+                    dfs(succ)
+            stack.discard(idx)
+
+        dfs(self.entry)
+        return sorted(headers)
+
+    def statement_count(self) -> int:
+        return sum(len(b.statements) for b in self.blocks)
+
+
+class _CFGBuilder:
+    """Lower one function body to a CFG."""
+
+    def __init__(self, func: FunctionDecl):
+        self.func = func
+        self.cfg = CFG(function=func.name)
+
+    def build(self) -> CFG:
+        entry = self.cfg.new_block("entry")
+        self.cfg.entry = entry.index
+        last = self._lower_block(self.func.body, entry)
+        exit_block = self.cfg.new_block("exit")
+        self.cfg.exit = exit_block.index
+        if last is not None:
+            self.cfg.add_edge(last.index, exit_block.index)
+        # returns jump straight to exit
+        for block in self.cfg.blocks:
+            if block.statements and isinstance(block.statements[-1], Return):
+                if exit_block.index not in block.successors:
+                    self.cfg.add_edge(block.index, exit_block.index)
+        return self.cfg
+
+    def _lower_block(self, block: Block, current: BasicBlock) -> BasicBlock | None:
+        """Lower ``block`` starting in ``current``; return the fall-through block."""
+        for stmt in block.statements:
+            if current is None:
+                # unreachable code after a return — attach to a fresh block
+                current = self.cfg.new_block("unreachable")
+            current = self._lower_statement(stmt, current)
+        return current
+
+    def _lower_statement(self, stmt: Stmt, current: BasicBlock) -> BasicBlock | None:
+        if isinstance(stmt, (Assign, FieldAssign, VarDecl, ExprStmt)):
+            current.add_statement(stmt)
+            return current
+        if isinstance(stmt, Return):
+            current.add_statement(stmt)
+            return None  # control does not fall through
+        if isinstance(stmt, Block):
+            return self._lower_block(stmt, current)
+        if isinstance(stmt, If):
+            return self._lower_if(stmt, current)
+        if isinstance(stmt, While):
+            return self._lower_while(stmt, current)
+        if isinstance(stmt, (For, ParallelFor)):
+            return self._lower_for(stmt, current)
+        # unknown statement kinds are treated as opaque simple statements
+        current.add_statement(stmt)
+        return current
+
+    def _lower_if(self, stmt: If, current: BasicBlock) -> BasicBlock:
+        cond_block = current
+        cond_block.branch_condition = stmt.cond
+        then_entry = self.cfg.new_block("if.then")
+        self.cfg.add_edge(cond_block.index, then_entry.index)
+        then_exit = self._lower_block(stmt.then_body, then_entry)
+        join = self.cfg.new_block("if.join")
+        if stmt.else_body is not None:
+            else_entry = self.cfg.new_block("if.else")
+            self.cfg.add_edge(cond_block.index, else_entry.index)
+            else_exit = self._lower_block(stmt.else_body, else_entry)
+            if else_exit is not None:
+                self.cfg.add_edge(else_exit.index, join.index)
+        else:
+            self.cfg.add_edge(cond_block.index, join.index)
+        if then_exit is not None:
+            self.cfg.add_edge(then_exit.index, join.index)
+        return join
+
+    def _lower_while(self, stmt: While, current: BasicBlock) -> BasicBlock:
+        header = self.cfg.new_block("while.header")
+        header.branch_condition = stmt.cond
+        header.loop_header_of = stmt
+        self.cfg.add_edge(current.index, header.index)
+        body_entry = self.cfg.new_block("while.body")
+        self.cfg.add_edge(header.index, body_entry.index)
+        body_exit = self._lower_block(stmt.body, body_entry)
+        if body_exit is not None:
+            self.cfg.add_edge(body_exit.index, header.index)
+        after = self.cfg.new_block("while.exit")
+        self.cfg.add_edge(header.index, after.index)
+        return after
+
+    def _lower_for(self, stmt: For | ParallelFor, current: BasicBlock) -> BasicBlock:
+        # Lower as: i = lo; while i <= hi { body; i = i + step }
+        init = Assign(target=stmt.var, value=stmt.lo, line=stmt.line)
+        current.add_statement(init)
+        header = self.cfg.new_block("for.header")
+        header.loop_header_of = stmt
+        header.branch_condition = BinOp(op="<=", left=Name(stmt.var), right=stmt.hi)
+        self.cfg.add_edge(current.index, header.index)
+        body_entry = self.cfg.new_block("for.body")
+        self.cfg.add_edge(header.index, body_entry.index)
+        body_exit = self._lower_block(stmt.body, body_entry)
+        step: Expr = stmt.step if isinstance(stmt, For) and stmt.step is not None else IntLit(1)
+        incr = Assign(
+            target=stmt.var,
+            value=BinOp(op="+", left=Name(stmt.var), right=step),
+            line=stmt.line,
+        )
+        if body_exit is not None:
+            body_exit.add_statement(incr)
+            self.cfg.add_edge(body_exit.index, header.index)
+        after = self.cfg.new_block("for.exit")
+        self.cfg.add_edge(header.index, after.index)
+        return after
+
+
+def build_cfg(func: FunctionDecl) -> CFG:
+    """Build the control-flow graph of ``func``."""
+    return _CFGBuilder(func).build()

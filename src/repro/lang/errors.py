@@ -1,0 +1,51 @@
+"""Exception hierarchy for the toy language front end and interpreter."""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class for every error raised by :mod:`repro.lang`."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.message = message
+        self.line = line
+        self.col = col
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.line is not None and self.col is not None:
+            return f"{self.message} (line {self.line}, col {self.col})"
+        if self.line is not None:
+            return f"{self.message} (line {self.line})"
+        return self.message
+
+
+class LexError(LangError):
+    """Raised when the lexer encounters an unrecognized character sequence."""
+
+
+class ParseError(LangError):
+    """Raised when the parser cannot derive the input from the grammar."""
+
+
+class TypeCheckError(LangError):
+    """Raised when a program fails static type checking."""
+
+
+class RuntimeLangError(LangError):
+    """Raised when the interpreter detects a dynamic error.
+
+    Examples: dereferencing ``NULL`` outside of a speculative traversal,
+    accessing an undefined field, calling an undefined function.
+    """
+
+
+class SpeculativeTraversalError(RuntimeLangError):
+    """Raised when a program *uses* a value obtained by traversing past NULL.
+
+    Section 3.2 of the paper requires ADDS structures to be *speculatively
+    traversable*: following a pointer field of NULL yields NULL instead of a
+    fault (analogous to computing an out-of-bounds array index without using
+    it).  Using the data payload of such a node, however, is still an error,
+    which this exception reports.
+    """

@@ -1,0 +1,453 @@
+"""Reference interpreter for the toy pointer language.
+
+The interpreter serves three purposes in the reproduction:
+
+1. **Semantics oracle** — the parallelizing transformations
+   (:mod:`repro.transform`) must be semantics preserving; tests run the
+   original and the transformed program on the same inputs and compare the
+   resulting heaps.
+2. **Dynamic ADDS checking** — the heap it builds can be validated against an
+   ADDS declaration by :mod:`repro.adds.runtime_check`.
+3. **Cost accounting** — it counts executed operations, which the simulated
+   multiprocessor (:mod:`repro.machine`) uses as the work metric when
+   replaying strip-mined schedules.
+
+Speculative traversability (paper section 3.2) is supported: following a
+*pointer field* of NULL yields NULL instead of faulting, exactly as the
+transformed Barnes–Hut loops require (the ``FOR1``/``FOR2`` loops may walk
+past the end of the particle list without using the result).
+Reading a *data* field of NULL is still an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.lang.ast_nodes import (
+    ArrayLit,
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Call,
+    Expr,
+    ExprStmt,
+    FieldAccess,
+    FieldAssign,
+    FloatLit,
+    For,
+    FunctionDecl,
+    If,
+    IndexAccess,
+    IntLit,
+    Name,
+    New,
+    NullLit,
+    ParallelFor,
+    Program,
+    Return,
+    Stmt,
+    StringLit,
+    TypeDecl,
+    UnaryOp,
+    VarDecl,
+    While,
+)
+from repro.lang.errors import RuntimeLangError, SpeculativeTraversalError
+from repro.lang.heap import Heap, NULL_REF
+from repro.lang.types import scalar_type
+
+
+class _ReturnSignal(Exception):
+    """Internal control-flow signal used to unwind from ``return``."""
+
+    def __init__(self, value: Any):
+        self.value = value
+        super().__init__()
+
+
+@dataclass
+class ExecutionStats:
+    """Operation counts collected during interpretation."""
+
+    statements: int = 0
+    expressions: int = 0
+    allocations: int = 0
+    field_reads: int = 0
+    field_writes: int = 0
+    calls: int = 0
+    loop_iterations: int = 0
+    parallel_loops: int = 0
+
+    def total_operations(self) -> int:
+        return (
+            self.statements
+            + self.expressions
+            + self.field_reads
+            + self.field_writes
+            + self.calls
+        )
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.statements += other.statements
+        self.expressions += other.expressions
+        self.allocations += other.allocations
+        self.field_reads += other.field_reads
+        self.field_writes += other.field_writes
+        self.calls += other.calls
+        self.loop_iterations += other.loop_iterations
+        self.parallel_loops += other.parallel_loops
+
+
+@dataclass
+class Frame:
+    """One activation record: local variable bindings."""
+
+    function: str
+    locals: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, name: str) -> Any:
+        if name not in self.locals:
+            raise RuntimeLangError(f"use of undefined variable {name!r} in {self.function}")
+        return self.locals[name]
+
+    def set(self, name: str, value: Any) -> None:
+        self.locals[name] = value
+
+
+class Interpreter:
+    """Execute programs of the toy language over an explicit heap."""
+
+    def __init__(
+        self,
+        program: Program,
+        speculative_traversal: bool = True,
+        max_steps: int | None = None,
+    ):
+        self.program = program
+        self.heap = Heap()
+        self.stats = ExecutionStats()
+        self.speculative_traversal = speculative_traversal
+        self.max_steps = max_steps
+        self.builtins: dict[str, Callable[..., Any]] = {}
+        self.output: list[str] = []
+        self._type_decls: dict[str, TypeDecl] = {t.name: t for t in program.types}
+        self._functions: dict[str, FunctionDecl] = {f.name: f for f in program.functions}
+        self._parallel_executor: Optional[
+            Callable[["Interpreter", ParallelFor, Frame], None]
+        ] = None
+        self._register_default_builtins()
+
+    # -- configuration ----------------------------------------------------
+    def register_builtin(self, name: str, func: Callable[..., Any]) -> None:
+        """Expose a Python callable to interpreted code under ``name``."""
+        self.builtins[name] = func
+
+    def set_parallel_executor(
+        self, executor: Callable[["Interpreter", ParallelFor, Frame], None]
+    ) -> None:
+        """Install a custom executor for ``ParallelFor`` loops.
+
+        The machine simulator uses this hook to schedule iterations onto
+        simulated processing elements; by default iterations run sequentially
+        (which is the correct reference semantics of a doall loop whose
+        iterations are independent).
+        """
+        self._parallel_executor = executor
+
+    def _register_default_builtins(self) -> None:
+        self.builtins["print"] = self._builtin_print
+        self.builtins["abs"] = abs
+        self.builtins["min"] = min
+        self.builtins["max"] = max
+        self.builtins["sqrt"] = lambda x: float(x) ** 0.5
+        self.builtins["floor"] = lambda x: int(x // 1)
+        self.builtins["float_of"] = float
+        self.builtins["int_of"] = int
+
+    def _builtin_print(self, *args: Any) -> None:
+        self.output.append(" ".join(str(a) for a in args))
+
+    # -- entry points -------------------------------------------------------
+    def call_function(self, name: str, *args: Any) -> Any:
+        """Call the interpreted function ``name`` with already-evaluated args."""
+        func = self._functions.get(name)
+        if func is None:
+            builtin = self.builtins.get(name)
+            if builtin is not None:
+                return builtin(*args)
+            raise RuntimeLangError(f"call to undefined function {name!r}")
+        if len(args) != len(func.params):
+            raise RuntimeLangError(
+                f"{name} expects {len(func.params)} arguments, got {len(args)}"
+            )
+        frame = Frame(function=name)
+        for param, value in zip(func.params, args):
+            frame.set(param.name, value)
+        self.stats.calls += 1
+        try:
+            self.execute_block(func.body, frame)
+        except _ReturnSignal as ret:
+            return ret.value
+        return None
+
+    # -- allocation ------------------------------------------------------------
+    def default_field_value(self, type_name: str, is_pointer: bool, array_size: int | None) -> Any:
+        if array_size is not None:
+            return [NULL_REF if is_pointer else self.default_field_value(type_name, False, None)
+                    for _ in range(array_size)]
+        if is_pointer:
+            return NULL_REF
+        scalar = scalar_type(type_name)
+        if scalar is None:
+            return NULL_REF
+        name = str(scalar)
+        if name == "int":
+            return 0
+        if name == "float":
+            return 0.0
+        if name == "bool":
+            return False
+        if name == "string":
+            return ""
+        return None
+
+    def allocate(self, type_name: str) -> int:
+        decl = self._type_decls.get(type_name)
+        if decl is None:
+            raise RuntimeLangError(f"allocation of unknown type {type_name!r}")
+        fields = {
+            f.name: self.default_field_value(f.type_name, f.is_pointer, f.array_size)
+            for f in decl.fields
+        }
+        self.stats.allocations += 1
+        return self.heap.allocate(type_name, fields)
+
+    # -- statements ---------------------------------------------------------
+    def execute_block(self, block: Block, frame: Frame) -> None:
+        for stmt in block.statements:
+            self.execute_statement(stmt, frame)
+
+    def execute_statement(self, stmt: Stmt, frame: Frame) -> None:
+        self.stats.statements += 1
+        if self.max_steps is not None and self.stats.statements > self.max_steps:
+            raise RuntimeLangError("maximum interpretation steps exceeded")
+        if isinstance(stmt, VarDecl):
+            value = self.evaluate(stmt.init, frame) if stmt.init is not None else NULL_REF
+            frame.set(stmt.name, value)
+        elif isinstance(stmt, Assign):
+            frame.set(stmt.target, self.evaluate(stmt.value, frame))
+        elif isinstance(stmt, FieldAssign):
+            self._execute_field_assign(stmt, frame)
+        elif isinstance(stmt, ExprStmt):
+            self.evaluate(stmt.expr, frame)
+        elif isinstance(stmt, Return):
+            value = self.evaluate(stmt.value, frame) if stmt.value is not None else None
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, Block):
+            self.execute_block(stmt, frame)
+        elif isinstance(stmt, If):
+            if self._truthy(self.evaluate(stmt.cond, frame)):
+                self.execute_block(stmt.then_body, frame)
+            elif stmt.else_body is not None:
+                self.execute_block(stmt.else_body, frame)
+        elif isinstance(stmt, While):
+            while self._truthy(self.evaluate(stmt.cond, frame)):
+                self.stats.loop_iterations += 1
+                self.execute_block(stmt.body, frame)
+        elif isinstance(stmt, For):
+            self._execute_for(stmt, frame)
+        elif isinstance(stmt, ParallelFor):
+            self._execute_parallel_for(stmt, frame)
+        else:
+            raise RuntimeLangError(f"cannot execute statement {type(stmt).__name__}")
+
+    def _execute_field_assign(self, stmt: FieldAssign, frame: Frame) -> None:
+        base = self.evaluate(stmt.base, frame)
+        if base == NULL_REF:
+            raise RuntimeLangError("field store through NULL pointer", stmt.line)
+        value = self.evaluate(stmt.value, frame)
+        self.stats.field_writes += 1
+        if stmt.index is not None:
+            index = self.evaluate(stmt.index, frame)
+            array = self.heap.load(base, stmt.field)
+            if not isinstance(array, list):
+                raise RuntimeLangError(
+                    f"indexed store to non-array field {stmt.field!r}", stmt.line
+                )
+            if not (0 <= index < len(array)):
+                raise RuntimeLangError(
+                    f"array index {index} out of bounds for field {stmt.field!r}", stmt.line
+                )
+            array[index] = value
+        else:
+            self.heap.store(base, stmt.field, value)
+
+    def _execute_for(self, stmt: For, frame: Frame) -> None:
+        lo = self.evaluate(stmt.lo, frame)
+        hi = self.evaluate(stmt.hi, frame)
+        step = self.evaluate(stmt.step, frame) if stmt.step is not None else 1
+        if step == 0:
+            raise RuntimeLangError("for-loop step of zero", stmt.line)
+        i = lo
+        while (step > 0 and i <= hi) or (step < 0 and i >= hi):
+            frame.set(stmt.var, i)
+            self.stats.loop_iterations += 1
+            self.execute_block(stmt.body, frame)
+            i = frame.get(stmt.var) + step
+
+    def _execute_parallel_for(self, stmt: ParallelFor, frame: Frame) -> None:
+        self.stats.parallel_loops += 1
+        if self._parallel_executor is not None:
+            self._parallel_executor(self, stmt, frame)
+            return
+        # Reference semantics: a doall loop whose iterations are independent
+        # computes the same result when run sequentially.
+        lo = self.evaluate(stmt.lo, frame)
+        hi = self.evaluate(stmt.hi, frame)
+        for i in range(lo, hi + 1):
+            frame.set(stmt.var, i)
+            self.stats.loop_iterations += 1
+            self.execute_block(stmt.body, frame)
+
+    # -- expressions ------------------------------------------------------------
+    def evaluate(self, expr: Expr, frame: Frame) -> Any:
+        self.stats.expressions += 1
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, FloatLit):
+            return expr.value
+        if isinstance(expr, BoolLit):
+            return expr.value
+        if isinstance(expr, StringLit):
+            return expr.value
+        if isinstance(expr, NullLit):
+            return NULL_REF
+        if isinstance(expr, Name):
+            return frame.get(expr.ident)
+        if isinstance(expr, New):
+            return self.allocate(expr.type_name)
+        if isinstance(expr, FieldAccess):
+            return self._evaluate_field_access(expr, frame)
+        if isinstance(expr, IndexAccess):
+            return self._evaluate_index_access(expr, frame)
+        if isinstance(expr, BinOp):
+            return self._evaluate_binop(expr, frame)
+        if isinstance(expr, UnaryOp):
+            return self._evaluate_unaryop(expr, frame)
+        if isinstance(expr, Call):
+            args = [self.evaluate(a, frame) for a in expr.args]
+            return self.call_function(expr.func, *args)
+        if isinstance(expr, ArrayLit):
+            return [self.evaluate(e, frame) for e in expr.elements]
+        raise RuntimeLangError(f"cannot evaluate expression {type(expr).__name__}")
+
+    def _field_is_pointer(self, type_name: str, field_name: str) -> bool:
+        decl = self._type_decls.get(type_name)
+        if decl is None:
+            return False
+        fdecl = decl.field_named(field_name)
+        return fdecl is not None and fdecl.is_pointer
+
+    def _evaluate_field_access(self, expr: FieldAccess, frame: Frame) -> Any:
+        base = self.evaluate(expr.base, frame)
+        if base == NULL_REF:
+            if self.speculative_traversal:
+                # Speculative traversability: a pointer-field load through
+                # NULL yields NULL; any other load is still an error.
+                return NULL_REF
+            raise SpeculativeTraversalError(
+                f"field read {expr.field!r} through NULL pointer", expr.line
+            )
+        self.stats.field_reads += 1
+        return self.heap.load(base, expr.field)
+
+    def _evaluate_index_access(self, expr: IndexAccess, frame: Frame) -> Any:
+        base = self.evaluate(expr.base, frame)
+        index = self.evaluate(expr.index, frame)
+        if isinstance(base, list):
+            if not (0 <= index < len(base)):
+                raise RuntimeLangError(f"array index {index} out of bounds", expr.line)
+            return base[index]
+        if base == NULL_REF and self.speculative_traversal:
+            return NULL_REF
+        raise RuntimeLangError("indexing a non-array value", expr.line)
+
+    def _evaluate_binop(self, expr: BinOp, frame: Frame) -> Any:
+        op = expr.op
+        if op == "and":
+            return self._truthy(self.evaluate(expr.left, frame)) and self._truthy(
+                self.evaluate(expr.right, frame)
+            )
+        if op == "or":
+            return self._truthy(self.evaluate(expr.left, frame)) or self._truthy(
+                self.evaluate(expr.right, frame)
+            )
+        left = self.evaluate(expr.left, frame)
+        right = self.evaluate(expr.right, frame)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                if right == 0:
+                    raise RuntimeLangError("integer division by zero", expr.line)
+                return left // right
+            if right == 0:
+                raise RuntimeLangError("division by zero", expr.line)
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise RuntimeLangError("modulo by zero", expr.line)
+            return left % right
+        if op == "==":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise RuntimeLangError(f"unknown binary operator {op!r}", expr.line)
+
+    def _evaluate_unaryop(self, expr: UnaryOp, frame: Frame) -> Any:
+        value = self.evaluate(expr.operand, frame)
+        if expr.op == "-":
+            return -value
+        if expr.op == "not":
+            return not self._truthy(value)
+        raise RuntimeLangError(f"unknown unary operator {expr.op!r}", expr.line)
+
+    @staticmethod
+    def _truthy(value: Any) -> bool:
+        if isinstance(value, bool):
+            return value
+        if value is None:
+            return False
+        if isinstance(value, (int, float)):
+            return value != 0
+        return bool(value)
+
+
+def run_program(
+    program: Program,
+    entry: str = "main",
+    args: tuple[Any, ...] = (),
+    speculative_traversal: bool = True,
+    builtins: dict[str, Callable[..., Any]] | None = None,
+) -> tuple[Any, Interpreter]:
+    """Convenience wrapper: interpret ``entry`` and return (result, interpreter)."""
+    interp = Interpreter(program, speculative_traversal=speculative_traversal)
+    if builtins:
+        for name, func in builtins.items():
+            interp.register_builtin(name, func)
+    result = interp.call_function(entry, *args)
+    return result, interp

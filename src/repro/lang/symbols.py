@@ -1,0 +1,94 @@
+"""Symbol tables and lexical scopes for the toy language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.lang.errors import TypeCheckError
+from repro.lang.types import Type
+
+
+@dataclass
+class Symbol:
+    """A declared name: variable, parameter, function, or type."""
+
+    name: str
+    kind: str  # "var" | "param" | "function" | "type"
+    type: Type | None = None
+    line: int | None = None
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.name}: {self.type}"
+
+
+class Scope:
+    """A single lexical scope mapping names to symbols."""
+
+    def __init__(self, parent: Optional["Scope"] = None, name: str = "<scope>"):
+        self.parent = parent
+        self.name = name
+        self._symbols: dict[str, Symbol] = {}
+
+    def declare(self, symbol: Symbol, allow_redeclare: bool = False) -> Symbol:
+        if symbol.name in self._symbols and not allow_redeclare:
+            raise TypeCheckError(
+                f"redeclaration of {symbol.name!r} in scope {self.name}", symbol.line
+            )
+        self._symbols[symbol.name] = symbol
+        return symbol
+
+    def lookup_local(self, name: str) -> Symbol | None:
+        return self._symbols.get(name)
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: Scope | None = self
+        while scope is not None:
+            sym = scope._symbols.get(name)
+            if sym is not None:
+                return sym
+            scope = scope.parent
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._symbols.values())
+
+    def local_names(self) -> list[str]:
+        return list(self._symbols)
+
+
+class SymbolTable:
+    """A stack of scopes with a global scope at the bottom."""
+
+    def __init__(self):
+        self.global_scope = Scope(name="<global>")
+        self._stack: list[Scope] = [self.global_scope]
+
+    @property
+    def current(self) -> Scope:
+        return self._stack[-1]
+
+    def push(self, name: str = "<scope>") -> Scope:
+        scope = Scope(parent=self.current, name=name)
+        self._stack.append(scope)
+        return scope
+
+    def pop(self) -> Scope:
+        if len(self._stack) == 1:
+            raise RuntimeError("cannot pop the global scope")
+        return self._stack.pop()
+
+    def declare(self, symbol: Symbol, **kwargs) -> Symbol:
+        return self.current.declare(symbol, **kwargs)
+
+    def declare_global(self, symbol: Symbol, **kwargs) -> Symbol:
+        return self.global_scope.declare(symbol, **kwargs)
+
+    def lookup(self, name: str) -> Symbol | None:
+        return self.current.lookup(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.current

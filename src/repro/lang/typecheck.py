@@ -1,0 +1,336 @@
+"""A lightweight static checker / type inferencer for the toy language.
+
+Local variables and parameters are declared without types (as in the paper's
+pseudo-code), so this pass performs a simple flow-insensitive inference:
+
+* a variable assigned ``new T`` or ``q->f`` (where ``f`` is a pointer field of
+  a known record) is a pointer to the appropriate record type;
+* a variable assigned another pointer variable inherits its type;
+* variables only used with arithmetic are numeric.
+
+The result — a :class:`TypeEnvironment` per function — is consumed by the
+path-matrix analysis (to know which variables are pointer variables and to
+which record type they point) and by the interpreter (for diagnostics only;
+execution itself is dynamically typed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast_nodes import (
+    ArrayLit,
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Call,
+    Expr,
+    ExprStmt,
+    FieldAccess,
+    FieldAssign,
+    FloatLit,
+    For,
+    FunctionDecl,
+    If,
+    IndexAccess,
+    IntLit,
+    Name,
+    New,
+    NullLit,
+    ParallelFor,
+    Program,
+    Return,
+    Stmt,
+    StringLit,
+    UnaryOp,
+    VarDecl,
+    While,
+    iter_statements,
+)
+from repro.lang.errors import TypeCheckError
+from repro.lang.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    NULL_POINTER,
+    STRING,
+    VOID,
+    ArrayType,
+    PointerType,
+    RecordType,
+    Type,
+    scalar_type,
+    type_from_name,
+)
+
+
+@dataclass
+class TypeEnvironment:
+    """Inferred types of locals/params for one function."""
+
+    function: str
+    types: dict[str, Type] = field(default_factory=dict)
+
+    def pointer_variables(self) -> set[str]:
+        return {name for name, ty in self.types.items() if ty.is_pointer()}
+
+    def pointee_record(self, name: str) -> str | None:
+        ty = self.types.get(name)
+        if isinstance(ty, PointerType):
+            return ty.target.name
+        return None
+
+    def get(self, name: str) -> Type | None:
+        return self.types.get(name)
+
+
+@dataclass
+class CheckResult:
+    """Output of :func:`check_program`."""
+
+    program: Program
+    environments: dict[str, TypeEnvironment] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+
+    def env(self, function: str) -> TypeEnvironment:
+        return self.environments[function]
+
+
+class TypeChecker:
+    """Checks declarations for consistency and infers variable types."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.result = CheckResult(program=program)
+
+    # -- declaration-level checks -------------------------------------------
+    def check(self) -> CheckResult:
+        self._check_type_decls()
+        self._check_function_names()
+        for func in self.program.functions:
+            env = self._infer_function(func)
+            self.result.environments[func.name] = env
+        return self.result
+
+    def _check_type_decls(self) -> None:
+        seen: set[str] = set()
+        for decl in self.program.types:
+            if decl.name in seen:
+                raise TypeCheckError(f"duplicate type declaration {decl.name!r}", decl.line)
+            seen.add(decl.name)
+        known = seen | {"int", "float", "bool", "string", "void"}
+        for decl in self.program.types:
+            field_names: set[str] = set()
+            for f in decl.fields:
+                if f.name in field_names:
+                    raise TypeCheckError(
+                        f"duplicate field {f.name!r} in type {decl.name!r}", f.line
+                    )
+                field_names.add(f.name)
+                if f.type_name not in known:
+                    raise TypeCheckError(
+                        f"field {decl.name}.{f.name} has unknown type {f.type_name!r}",
+                        f.line,
+                    )
+                if f.is_pointer and scalar_type(f.type_name) is not None:
+                    raise TypeCheckError(
+                        f"field {decl.name}.{f.name}: pointers to scalars are not supported",
+                        f.line,
+                    )
+                if f.adds is not None and not f.is_pointer:
+                    raise TypeCheckError(
+                        f"field {decl.name}.{f.name}: ADDS annotations only apply to pointer fields",
+                        f.line,
+                    )
+
+    def _check_function_names(self) -> None:
+        seen: set[str] = set()
+        for func in self.program.functions:
+            if func.name in seen:
+                raise TypeCheckError(f"duplicate function {func.name!r}", func.line)
+            seen.add(func.name)
+            param_names: set[str] = set()
+            for p in func.params:
+                if p.name in param_names:
+                    raise TypeCheckError(
+                        f"duplicate parameter {p.name!r} in {func.name}", p.line
+                    )
+                param_names.add(p.name)
+
+    # -- inference -----------------------------------------------------------
+    def _field_owners(self, field_name: str) -> list[str]:
+        """Record types declaring a field named ``field_name``."""
+        return [t.name for t in self.program.types if t.field_named(field_name) is not None]
+
+    def _infer_function(self, func: FunctionDecl) -> TypeEnvironment:
+        env = TypeEnvironment(function=func.name)
+        # iterate to a (small) fixed point: pointer-ness propagates through copies
+        for _ in range(6):
+            changed = False
+            for stmt in iter_statements(func.body):
+                changed |= self._infer_statement(stmt, env)
+                changed |= self._infer_from_dereferences(stmt, env)
+            if not changed:
+                break
+        return env
+
+    def _infer_from_dereferences(self, stmt: Stmt, env: TypeEnvironment) -> bool:
+        """Mark variables used as ``v->f`` as pointers to the field's owner type.
+
+        When exactly one declared record type has a field named ``f`` the
+        pointee is unambiguous; otherwise the variable is still recorded as a
+        pointer, but to an unknown record (``__any__``).
+        """
+        changed = False
+        nodes = list(stmt.walk())
+        if isinstance(stmt, FieldAssign):
+            nodes.append(FieldAccess(base=stmt.base, field=stmt.field))
+        for node in nodes:
+            if isinstance(node, FieldAccess) and isinstance(node.base, Name):
+                name = node.base.ident
+                current = env.types.get(name)
+                if isinstance(current, PointerType) and current.target.name not in (
+                    "__null__",
+                    "__any__",
+                ):
+                    continue
+                owners = self._field_owners(node.field)
+                if len(owners) == 1:
+                    changed |= self._force(env, name, PointerType(RecordType(owners[0])))
+                else:
+                    changed |= self._force(env, name, PointerType(RecordType("__any__")))
+        return changed
+
+    def _force(self, env: TypeEnvironment, name: str, ty: Type) -> bool:
+        current = env.types.get(name)
+        if current == ty:
+            return False
+        if isinstance(current, PointerType) and current.target.name not in (
+            "__null__",
+            "__any__",
+        ):
+            if isinstance(ty, PointerType) and ty.target.name == "__any__":
+                return False
+        env.types[name] = ty
+        return True
+
+    def _record_field_type(self, record_name: str, field_name: str) -> Type | None:
+        decl = self.program.type_named(record_name)
+        if decl is None:
+            return None
+        fdecl = decl.field_named(field_name)
+        if fdecl is None:
+            return None
+        return type_from_name(fdecl.type_name, fdecl.is_pointer, fdecl.array_size)
+
+    def _expr_type(self, expr: Expr, env: TypeEnvironment) -> Type | None:
+        if isinstance(expr, IntLit):
+            return INT
+        if isinstance(expr, FloatLit):
+            return FLOAT
+        if isinstance(expr, BoolLit):
+            return BOOL
+        if isinstance(expr, StringLit):
+            return STRING
+        if isinstance(expr, NullLit):
+            return NULL_POINTER
+        if isinstance(expr, Name):
+            return env.types.get(expr.ident)
+        if isinstance(expr, New):
+            return PointerType(RecordType(expr.type_name))
+        if isinstance(expr, FieldAccess):
+            base_ty = self._expr_type(expr.base, env)
+            if isinstance(base_ty, PointerType):
+                return self._record_field_type(base_ty.target.name, expr.field)
+            return None
+        if isinstance(expr, IndexAccess):
+            base_ty = self._expr_type(expr.base, env)
+            if isinstance(base_ty, ArrayType):
+                return base_ty.element
+            return None
+        if isinstance(expr, BinOp):
+            if expr.op in ("==", "<>", "<", "<=", ">", ">=", "and", "or"):
+                return BOOL
+            lt = self._expr_type(expr.left, env)
+            rt = self._expr_type(expr.right, env)
+            if FLOAT in (lt, rt):
+                return FLOAT
+            if lt is not None:
+                return lt
+            return rt
+        if isinstance(expr, UnaryOp):
+            if expr.op == "not":
+                return BOOL
+            return self._expr_type(expr.operand, env)
+        if isinstance(expr, Call):
+            return self._call_return_type(expr, env)
+        if isinstance(expr, ArrayLit):
+            if expr.elements:
+                el = self._expr_type(expr.elements[0], env)
+                if el is not None:
+                    return ArrayType(el, len(expr.elements))
+            return None
+        return None
+
+    def _call_return_type(self, call: Call, env: TypeEnvironment) -> Type | None:
+        callee = self.program.function_named(call.func)
+        if callee is None:
+            return None
+        # infer from return statements of the callee (one level, no recursion)
+        callee_env = self.result.environments.get(callee.name)
+        for stmt in iter_statements(callee.body):
+            if isinstance(stmt, Return) and stmt.value is not None:
+                if callee_env is not None:
+                    ty = self._expr_type(stmt.value, callee_env)
+                    if ty is not None:
+                        return ty
+                if isinstance(stmt.value, New):
+                    return PointerType(RecordType(stmt.value.type_name))
+        return None
+
+    def _merge(self, env: TypeEnvironment, name: str, ty: Type | None) -> bool:
+        if ty is None:
+            return False
+        current = env.types.get(name)
+        if current is None or current == NULL_POINTER:
+            if current != ty:
+                env.types[name] = ty
+                return True
+            return False
+        if isinstance(current, PointerType) and isinstance(ty, PointerType):
+            if current.target.name == "__null__" and ty.target.name != "__null__":
+                env.types[name] = ty
+                return True
+        return False
+
+    def _infer_statement(self, stmt: Stmt, env: TypeEnvironment) -> bool:
+        changed = False
+        if isinstance(stmt, VarDecl):
+            if stmt.init is not None:
+                changed |= self._merge(env, stmt.name, self._expr_type(stmt.init, env))
+            elif stmt.name not in env.types:
+                pass  # type unknown until first assignment
+        elif isinstance(stmt, Assign):
+            changed |= self._merge(env, stmt.target, self._expr_type(stmt.value, env))
+            # backward propagation through pointer copies: in ``p = head`` a
+            # pointer-typed ``p`` implies ``head`` is a pointer of the same type
+            if isinstance(stmt.value, Name):
+                target_ty = env.types.get(stmt.target)
+                if isinstance(target_ty, PointerType) and target_ty.target.name not in (
+                    "__null__",
+                ):
+                    changed |= self._merge(env, stmt.value.ident, target_ty)
+        elif isinstance(stmt, (For, ParallelFor)):
+            changed |= self._merge(env, stmt.var, INT)
+        elif isinstance(stmt, FieldAssign):
+            base_ty = self._expr_type(stmt.base, env)
+            if base_ty is None and isinstance(stmt.base, Name):
+                # dereferencing implies pointer-hood; record type unknown
+                pass
+        return changed
+
+
+def check_program(program: Program) -> CheckResult:
+    """Run declaration checks and type inference over ``program``."""
+    return TypeChecker(program).check()

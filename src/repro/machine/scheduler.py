@@ -1,0 +1,102 @@
+"""Schedulers mapping doall iterations onto processing elements.
+
+The paper's transformation uses *static interleaved* scheduling: in each pass
+over the particle list, PE ``i`` processes the ``i``-th of the next ``PEs``
+nodes.  The results section lists "simple static scheduling is being used" as
+the first source of lost speedup, so the ablation benches also provide a
+static block scheduler and a dynamic (self-scheduling work queue) scheduler
+for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+
+class Scheduler(Protocol):
+    """Assign a list of task costs to ``num_pes`` processors.
+
+    Returns a list of length ``num_pes``; element ``i`` is the list of task
+    indices executed (in order) by PE ``i``.
+    """
+
+    name: str
+
+    def assign(self, costs: Sequence[float], num_pes: int) -> list[list[int]]:
+        ...  # pragma: no cover
+
+
+@dataclass
+class StaticInterleavedScheduler:
+    """PE ``i`` takes iterations ``i``, ``i+PEs``, ``i+2*PEs``, ...
+
+    Within one strip-mined parallel *step* (a group of ``PEs`` consecutive
+    iterations) this is exactly the paper's assignment: PE 0 processes ``p``,
+    PE 1 processes ``p->next``, and so on.
+    """
+
+    name: str = "static-interleaved"
+
+    def assign(self, costs: Sequence[float], num_pes: int) -> list[list[int]]:
+        assignment: list[list[int]] = [[] for _ in range(num_pes)]
+        for idx in range(len(costs)):
+            assignment[idx % num_pes].append(idx)
+        return assignment
+
+
+@dataclass
+class StaticBlockScheduler:
+    """PE ``i`` takes the ``i``-th contiguous block of iterations."""
+
+    name: str = "static-block"
+
+    def assign(self, costs: Sequence[float], num_pes: int) -> list[list[int]]:
+        n = len(costs)
+        assignment: list[list[int]] = [[] for _ in range(num_pes)]
+        base = n // num_pes
+        extra = n % num_pes
+        start = 0
+        for pe in range(num_pes):
+            size = base + (1 if pe < extra else 0)
+            assignment[pe] = list(range(start, start + size))
+            start += size
+        return assignment
+
+
+@dataclass
+class DynamicScheduler:
+    """Greedy self-scheduling: each task goes to the least-loaded PE.
+
+    This is the "longest processing time first"-style list scheduler when
+    ``sort_by_cost`` is true; with the default (program order) it models a
+    simple shared work queue from which idle PEs grab the next iteration.
+    """
+
+    name: str = "dynamic"
+    sort_by_cost: bool = False
+
+    def assign(self, costs: Sequence[float], num_pes: int) -> list[list[int]]:
+        order = list(range(len(costs)))
+        if self.sort_by_cost:
+            order.sort(key=lambda i: -costs[i])
+        loads = [0.0] * num_pes
+        assignment: list[list[int]] = [[] for _ in range(num_pes)]
+        for idx in order:
+            pe = min(range(num_pes), key=lambda j: loads[j])
+            assignment[pe].append(idx)
+            loads[pe] += costs[idx]
+        return assignment
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Factory used by :class:`~repro.machine.simulator.MachineSimulator`."""
+    if name == "static-interleaved":
+        return StaticInterleavedScheduler()
+    if name == "static-block":
+        return StaticBlockScheduler()
+    if name == "dynamic":
+        return DynamicScheduler()
+    if name == "dynamic-lpt":
+        return DynamicScheduler(sort_by_cost=True, name="dynamic-lpt")
+    raise ValueError(f"unknown scheduler {name!r}")

@@ -1,0 +1,94 @@
+"""Barnes–Hut N-body simulation — the scientific application of section 4.
+
+The package implements the original (pointer-based, recursion-friendly)
+Barnes–Hut algorithm exactly as the paper describes it:
+
+* an **octree** whose interior nodes hold point-mass approximations and whose
+  leaves — the particles — are linked into a one-way list (the ``leaves``
+  ADDS dimension, Figure 5),
+* a **bottom-up tree build** per time step: ``expand_box`` grows the root box
+  to cover a particle, ``insert_particle`` descends to the particle's empty
+  quadrant, subdividing when two particles collide (section 4.3.2),
+* the two loops **BHL1** (force computation via ``compute_force`` with the
+  well-separated opening criterion) and **BHL2** (velocity/position update),
+* a direct **O(N²)** force computation as the accuracy/complexity baseline,
+* sequential and **strip-mined parallel** drivers; the parallel driver uses
+  the simulated multiprocessor of :mod:`repro.machine` for timing and a
+  thread/sequential backend for the actual numerics,
+* the corresponding **toy-language program** carrying the ``Octree`` ADDS
+  declaration, which the analysis/transformation experiments operate on.
+"""
+
+from repro.nbody.vector import Vec3
+from repro.nbody.particle import Particle
+from repro.nbody.octree import OctreeNode, OctreeStats
+from repro.nbody.build import build_tree, expand_box, insert_particle, compute_mass_distribution
+from repro.nbody.force import (
+    ForceAccumulator,
+    compute_force,
+    compute_force_on_particle,
+    direct_forces,
+    GRAVITY,
+    SOFTENING,
+)
+from repro.nbody.integrate import compute_new_vel_pos, advance
+from repro.nbody.datasets import (
+    uniform_cube,
+    plummer_sphere,
+    two_clusters,
+    make_particles,
+)
+from repro.nbody.simulation import (
+    SimulationConfig,
+    StepStats,
+    SequentialRunResult,
+    BarnesHutSimulation,
+)
+from repro.nbody.parallel import (
+    ParallelRunResult,
+    StripMinedParallelSimulation,
+)
+from repro.nbody.energy import kinetic_energy, potential_energy, total_energy, momentum
+from repro.nbody.toy_program import (
+    barnes_hut_toy_source,
+    barnes_hut_toy_program,
+    BHL1_FUNCTION,
+    BHL2_FUNCTION,
+)
+
+__all__ = [
+    "Vec3",
+    "Particle",
+    "OctreeNode",
+    "OctreeStats",
+    "build_tree",
+    "expand_box",
+    "insert_particle",
+    "compute_mass_distribution",
+    "ForceAccumulator",
+    "compute_force",
+    "compute_force_on_particle",
+    "direct_forces",
+    "GRAVITY",
+    "SOFTENING",
+    "compute_new_vel_pos",
+    "advance",
+    "uniform_cube",
+    "plummer_sphere",
+    "two_clusters",
+    "make_particles",
+    "SimulationConfig",
+    "StepStats",
+    "SequentialRunResult",
+    "BarnesHutSimulation",
+    "ParallelRunResult",
+    "StripMinedParallelSimulation",
+    "kinetic_energy",
+    "potential_energy",
+    "total_energy",
+    "momentum",
+    "barnes_hut_toy_source",
+    "barnes_hut_toy_program",
+    "BHL1_FUNCTION",
+    "BHL2_FUNCTION",
+]

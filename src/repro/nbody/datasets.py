@@ -1,0 +1,114 @@
+"""Initial conditions for the N-body experiments.
+
+The paper does not describe its particle distribution beyond "simulation runs
+of 80 time steps" for N ∈ {128, 512, 1024}; astrophysical tree-code papers of
+the period typically used Plummer spheres or uniform clouds.  We provide
+both, plus a deliberately clumpy two-cluster distribution used by the
+load-imbalance ablation (clumpier distributions make the per-particle
+interaction counts — and therefore the static-scheduling losses — more
+uneven).
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.nbody.particle import Particle, link_particles
+from repro.nbody.vector import Vec3
+
+
+def uniform_cube(
+    n: int, seed: int = 1, half_size: float = 1.0, max_speed: float = 0.1, mass: float = 1.0
+) -> list[Particle]:
+    """``n`` equal-mass particles uniformly distributed in a cube."""
+    rng = random.Random(seed)
+    particles = []
+    for i in range(n):
+        position = Vec3(
+            rng.uniform(-half_size, half_size),
+            rng.uniform(-half_size, half_size),
+            rng.uniform(-half_size, half_size),
+        )
+        velocity = Vec3(
+            rng.uniform(-max_speed, max_speed),
+            rng.uniform(-max_speed, max_speed),
+            rng.uniform(-max_speed, max_speed),
+        )
+        particles.append(Particle(ident=i, mass=mass, position=position, velocity=velocity))
+    link_particles(particles)
+    return particles
+
+
+def plummer_sphere(n: int, seed: int = 1, scale: float = 1.0, mass: float = 1.0) -> list[Particle]:
+    """A Plummer-model sphere (the classic stellar-cluster initial condition)."""
+    rng = random.Random(seed)
+    particles = []
+    for i in range(n):
+        # radius from the Plummer cumulative mass distribution
+        x = rng.uniform(1e-6, 0.999)
+        radius = scale / math.sqrt(x ** (-2.0 / 3.0) - 1.0)
+        radius = min(radius, 10.0 * scale)
+        costheta = rng.uniform(-1.0, 1.0)
+        sintheta = math.sqrt(max(0.0, 1.0 - costheta * costheta))
+        phi = rng.uniform(0.0, 2.0 * math.pi)
+        position = Vec3(
+            radius * sintheta * math.cos(phi),
+            radius * sintheta * math.sin(phi),
+            radius * costheta,
+        )
+        # small isotropic velocities (a fraction of the local circular speed)
+        speed = 0.1 * math.sqrt(1.0 / math.sqrt(1.0 + radius * radius))
+        vcostheta = rng.uniform(-1.0, 1.0)
+        vsintheta = math.sqrt(max(0.0, 1.0 - vcostheta * vcostheta))
+        vphi = rng.uniform(0.0, 2.0 * math.pi)
+        velocity = Vec3(
+            speed * vsintheta * math.cos(vphi),
+            speed * vsintheta * math.sin(vphi),
+            speed * vcostheta,
+        )
+        particles.append(
+            Particle(ident=i, mass=mass / n, position=position, velocity=velocity)
+        )
+    link_particles(particles)
+    return particles
+
+
+def two_clusters(
+    n: int, seed: int = 1, separation: float = 4.0, cluster_scale: float = 0.5
+) -> list[Particle]:
+    """Two compact clusters — a clumpy distribution for load-imbalance studies."""
+    rng = random.Random(seed)
+    particles = []
+    for i in range(n):
+        side = -1.0 if i < n // 2 else 1.0
+        center = Vec3(side * separation / 2.0, 0.0, 0.0)
+        offset = Vec3(
+            rng.gauss(0.0, cluster_scale),
+            rng.gauss(0.0, cluster_scale),
+            rng.gauss(0.0, cluster_scale),
+        )
+        velocity = Vec3(-side * 0.05, rng.gauss(0.0, 0.02), rng.gauss(0.0, 0.02))
+        particles.append(
+            Particle(ident=i, mass=1.0, position=center + offset, velocity=velocity)
+        )
+    link_particles(particles)
+    return particles
+
+
+_GENERATORS = {
+    "uniform": uniform_cube,
+    "plummer": plummer_sphere,
+    "two-clusters": two_clusters,
+}
+
+
+def make_particles(n: int, distribution: str = "plummer", seed: int = 1) -> list[Particle]:
+    """Dispatch on the distribution name; used by the benchmark harness."""
+    if distribution not in _GENERATORS:
+        raise KeyError(
+            f"unknown distribution {distribution!r}; available: {sorted(_GENERATORS)}"
+        )
+    return _GENERATORS[distribution](n, seed=seed)

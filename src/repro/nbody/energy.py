@@ -1,0 +1,56 @@
+"""Physics diagnostics: energies and momentum.
+
+Used by tests to check that the simulation behaves like gravity (energy is
+approximately conserved over short runs, momentum is conserved by the
+pairwise-symmetric direct solver) and that the Barnes–Hut approximation stays
+close to the O(N²) reference.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nbody.force import GRAVITY, SOFTENING
+from repro.nbody.particle import Particle
+from repro.nbody.vector import Vec3
+
+
+def kinetic_energy(particles: list[Particle]) -> float:
+    return sum(p.kinetic_energy() for p in particles)
+
+
+def potential_energy(particles: list[Particle], gravity: float = GRAVITY) -> float:
+    """Pairwise softened gravitational potential energy."""
+    total = 0.0
+    n = len(particles)
+    for i in range(n):
+        pi = particles[i]
+        for j in range(i + 1, n):
+            pj = particles[j]
+            dist = math.sqrt(
+                (pi.position.x - pj.position.x) ** 2
+                + (pi.position.y - pj.position.y) ** 2
+                + (pi.position.z - pj.position.z) ** 2
+                + SOFTENING * SOFTENING
+            )
+            total -= gravity * pi.mass * pj.mass / dist
+    return total
+
+
+def total_energy(particles: list[Particle], gravity: float = GRAVITY) -> float:
+    return kinetic_energy(particles) + potential_energy(particles, gravity)
+
+
+def momentum(particles: list[Particle]) -> Vec3:
+    total = Vec3.zero()
+    for p in particles:
+        total = total + p.velocity * p.mass
+    return total
+
+
+def center_of_mass(particles: list[Particle]) -> Vec3:
+    total_mass = sum(p.mass for p in particles)
+    weighted = Vec3.zero()
+    for p in particles:
+        weighted = weighted + p.position * p.mass
+    return weighted / total_mass if total_mass else Vec3.zero()

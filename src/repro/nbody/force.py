@@ -1,0 +1,123 @@
+"""Force computation: the Barnes–Hut approximation and the O(N²) baseline.
+
+``compute_force`` is the recursive descent of the paper's pseudo-code::
+
+    function compute_force (p, node)
+    { if p and node are WELL-SEPARATED
+      then return force computed using node;
+      else return the sum of calling compute_force on subtrees;
+    }
+
+"Well separated" is the standard Barnes–Hut opening criterion: a node of box
+size ``s`` at distance ``d`` from the particle may be treated as a point mass
+when ``s / d < theta``.  Every accepted interaction increments the particle's
+``interactions`` counter, which doubles as the work metric consumed by the
+machine simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nbody.octree import OctreeNode
+from repro.nbody.particle import Particle
+from repro.nbody.vector import Vec3
+
+
+#: gravitational constant (natural units)
+GRAVITY = 1.0
+#: Plummer softening to avoid singular forces at tiny separations
+SOFTENING = 1.0e-2
+
+
+@dataclass
+class ForceAccumulator:
+    """Mutable force sum plus the interaction count that produced it."""
+
+    fx: float = 0.0
+    fy: float = 0.0
+    fz: float = 0.0
+    interactions: int = 0
+
+    def add_point_mass(
+        self, particle: Particle, mass: float, position: Vec3, gravity: float = GRAVITY
+    ) -> None:
+        dx = position.x - particle.position.x
+        dy = position.y - particle.position.y
+        dz = position.z - particle.position.z
+        dist_sq = dx * dx + dy * dy + dz * dz + SOFTENING * SOFTENING
+        if dist_sq <= 0.0:
+            return
+        inv_dist = dist_sq ** -0.5
+        magnitude = gravity * particle.mass * mass * inv_dist * inv_dist * inv_dist
+        self.fx += magnitude * dx
+        self.fy += magnitude * dy
+        self.fz += magnitude * dz
+        self.interactions += 1
+
+    def as_vec(self) -> Vec3:
+        return Vec3(self.fx, self.fy, self.fz)
+
+
+def well_separated(particle: Particle, node: OctreeNode, theta: float) -> bool:
+    """The Barnes–Hut opening criterion: ``s / d < theta``."""
+    distance = particle.position.distance_to(node.center_of_mass)
+    if distance <= 0.0:
+        return False
+    return (2.0 * node.half_size) / distance < theta
+
+
+def compute_force(
+    particle: Particle,
+    node: OctreeNode | None,
+    theta: float = 0.5,
+    accumulator: ForceAccumulator | None = None,
+    gravity: float = GRAVITY,
+) -> ForceAccumulator:
+    """Accumulate the force on ``particle`` from the subtree rooted at ``node``."""
+    acc = accumulator if accumulator is not None else ForceAccumulator()
+    if node is None or node.mass == 0.0:
+        return acc
+    if node.particle is particle:
+        return acc  # a particle exerts no force on itself
+    if node.particle is not None:
+        acc.add_point_mass(particle, node.particle.mass, node.particle.position, gravity)
+        return acc
+    if well_separated(particle, node, theta):
+        acc.add_point_mass(particle, node.mass, node.center_of_mass, gravity)
+        return acc
+    for child in node.subtrees:
+        if child is not None:
+            compute_force(particle, child, theta, acc, gravity)
+    return acc
+
+
+def compute_force_on_particle(
+    particle: Particle, root: OctreeNode | None, theta: float = 0.5, gravity: float = GRAVITY
+) -> int:
+    """BHL1's body: store the accumulated force on the particle.
+
+    Returns the number of interactions (the iteration's work).
+    """
+    acc = compute_force(particle, root, theta, gravity=gravity)
+    particle.force = acc.as_vec()
+    particle.interactions = acc.interactions
+    return acc.interactions
+
+
+def direct_forces(particles: list[Particle], gravity: float = GRAVITY) -> int:
+    """The O(N²) all-pairs force computation (the paper's "obvious implementation").
+
+    Returns the total number of pairwise interactions (N·(N−1)).
+    """
+    interactions = 0
+    for p in particles:
+        acc = ForceAccumulator()
+        for q in particles:
+            if q is p:
+                continue
+            acc.add_point_mass(p, q.mass, q.position, gravity)
+        p.force = acc.as_vec()
+        p.interactions = acc.interactions
+        interactions += acc.interactions
+    return interactions

@@ -1,0 +1,307 @@
+"""The Barnes–Hut program written in the toy language with an ADDS octree.
+
+This is the program the *analysis and transformation* experiments operate on
+(DESIGN.md experiments E4, E6, E7): the ``Octree`` type carries the ADDS
+declaration of section 4.3.1, ``build_tree``/``expand_box``/``insert_particle``
+follow section 4.3.2, and ``simulate_step`` contains the two loops BHL1 and
+BHL2 that the paper parallelizes.  The program is also executable by the
+interpreter (a simplified scalar force is used so results stay cheap to
+compute and order-independent), which lets the end-to-end tests run the
+original and the strip-mined version and compare heaps.
+
+The heavy numeric experiments use the native implementation in
+:mod:`repro.nbody.simulation` / :mod:`repro.nbody.parallel`; this module is
+about what the *compiler* sees.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.adds.library import OCTREE_SRC
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse_program
+
+
+#: names of the functions holding the two parallelizable loops
+BHL1_FUNCTION = "bh_force_pass"
+BHL2_FUNCTION = "bh_update_pass"
+
+
+_TOY_BODY = """
+/* Return the octant index (0..7) of position (px,py,pz) inside node n. */
+function octant(n, px, py, pz)
+{ var idx;
+  idx = 0;
+  if px >= n->x then idx = idx + 1;
+  if py >= n->y then idx = idx + 2;
+  if pz >= n->z then idx = idx + 4;
+  return idx;
+}
+
+/* Does node n's box contain position (px,py,pz)? */
+function contains(n, px, py, pz)
+{ if abs(px - n->x) > n->half then return false;
+  if abs(py - n->y) > n->half then return false;
+  if abs(pz - n->z) > n->half then return false;
+  return true;
+}
+
+/* Allocate an interior node centred at (cx,cy,cz) with half-size h. */
+function make_box(cx, cy, cz, h)
+{ var n;
+  n = new Octree;
+  n->x = cx;
+  n->y = cy;
+  n->z = cz;
+  n->half = h;
+  n->node_type = false;
+  return n;
+}
+
+/* Grow the tree upward until its box contains particle p (section 4.3.2). */
+function expand_box(p, root)
+{ var bigger; var cx; var cy; var cz; var idx;
+  if root == NULL then
+  { bigger = make_box(p->x, p->y, p->z, 1.0);
+    return bigger;
+  }
+  while not contains(root, p->x, p->y, p->z)
+  { cx = root->x - root->half;
+    if p->x >= root->x then cx = root->x + root->half;
+    cy = root->y - root->half;
+    if p->y >= root->y then cy = root->y + root->half;
+    cz = root->z - root->half;
+    if p->z >= root->z then cz = root->z + root->half;
+    bigger = make_box(cx, cy, cz, root->half * 2.0);
+    idx = octant(bigger, root->x, root->y, root->z);
+    bigger->subtrees[idx] = root;
+    root = bigger;
+  }
+  return root;
+}
+
+/* Centre of the idx-th child octant of node n. */
+function child_center_x(n, idx)
+{ if idx % 2 >= 1 then return n->x + n->half / 2.0;
+  return n->x - n->half / 2.0;
+}
+function child_center_y(n, idx)
+{ if idx % 4 >= 2 then return n->y + n->half / 2.0;
+  return n->y - n->half / 2.0;
+}
+function child_center_z(n, idx)
+{ if idx >= 4 then return n->z + n->half / 2.0;
+  return n->z - n->half / 2.0;
+}
+
+/* Insert particle p below root, subdividing occupied octants.
+   Stores are ordered so the uniquely-forward property of `subtrees` is never
+   broken even temporarily: the parent's slot is overwritten *before* the
+   displaced particle is re-attached (compare the paper's section 4.3.2,
+   where the competitor is attached first and the sharing repaired later). */
+procedure insert_particle(p, root)
+{ var n; var idx; var child; var sub; var cidx;
+  n = root;
+  while true
+  { idx = octant(n, p->x, p->y, p->z);
+    child = n->subtrees[idx];
+    if child == NULL then
+    { n->subtrees[idx] = p;
+      return;
+    }
+    if child->node_type then
+    { /* the octant holds another particle: subdivide it */
+      sub = make_box(child_center_x(n, idx), child_center_y(n, idx),
+                     child_center_z(n, idx), n->half / 2.0);
+      n->subtrees[idx] = sub;
+      cidx = octant(sub, child->x, child->y, child->z);
+      sub->subtrees[cidx] = child;
+      n = sub;
+    }
+    else
+    { n = child;
+    }
+  }
+}
+
+/* Post-order pass filling in the point-mass approximation of interior nodes. */
+function summarize_mass(node)
+{ var i; var child; var m; var total; var wx; var wy; var wz;
+  if node == NULL then return 0.0;
+  if node->node_type then return node->mass;
+  total = 0.0;
+  wx = 0.0;
+  wy = 0.0;
+  wz = 0.0;
+  i = 0;
+  while i < 8
+  { child = node->subtrees[i];
+    if child <> NULL then
+    { m = summarize_mass(child);
+      total = total + m;
+      wx = wx + child->x * m;
+      wy = wy + child->y * m;
+      wz = wz + child->z * m;
+    }
+    i = i + 1;
+  }
+  node->mass = total;
+  if total > 0.0 then
+  { node->x = wx / total;
+    node->y = wy / total;
+    node->z = wz / total;
+  }
+  return total;
+}
+
+/* Build the octree over the particle list (the paper's build_tree). */
+function build_tree(particles)
+{ var root; var p;
+  root = NULL;
+  p = particles;
+  while p <> NULL
+  { root = expand_box(p, root);
+    insert_particle(p, root);
+    p = p->next;
+  }
+  summarize_mass(root);
+  return root;
+}
+
+/* Recursive force descent (the paper's compute_force).  Returns the scalar
+   magnitude sum; the octree reachable from `node` is used read-only. */
+function compute_force(p, node, theta)
+{ var dx; var dy; var dz; var dist; var total; var i; var child;
+  if node == NULL then return 0.0;
+  if node->mass <= 0.0 then return 0.0;
+  dx = node->x - p->x;
+  dy = node->y - p->y;
+  dz = node->z - p->z;
+  dist = sqrt(dx * dx + dy * dy + dz * dz + 0.0001);
+  if node->node_type then
+  { if dist < 0.02 then return 0.0;
+    return p->mass * node->mass / (dist * dist);
+  }
+  if node->half * 2.0 / dist < theta then
+  { return p->mass * node->mass / (dist * dist);
+  }
+  total = 0.0;
+  i = 0;
+  while i < 8
+  { child = node->subtrees[i];
+    if child <> NULL then
+    { total = total + compute_force(p, child, theta);
+    }
+    i = i + 1;
+  }
+  return total;
+}
+
+/* BHL2's body: update one particle's velocity and position. */
+procedure compute_new_vel_pos(p, dt)
+{ var accel;
+  accel = p->force / p->mass;
+  p->vx = p->vx + accel * dt;
+  p->x = p->x + p->vx * dt;
+}
+
+/* BHL1: the force pass over the particle list. */
+procedure bh_force_pass(particles, root, theta)
+{ var p;
+  p = particles;
+  while p <> NULL
+  { p->force = compute_force(p, root, theta);
+    p = p->next;
+  }
+}
+
+/* BHL2: the velocity/position pass over the particle list. */
+procedure bh_update_pass(particles, dt)
+{ var p;
+  p = particles;
+  while p <> NULL
+  { compute_new_vel_pos(p, dt);
+    p = p->next;
+  }
+}
+
+/* Disconnect an old tree's interior nodes from the particles so the next
+   time step's rebuild starts from a clean shape (the C program would free
+   these nodes; the toy language has no `free`, so we just unlink them). */
+procedure detach_tree(node)
+{ var i; var child;
+  if node == NULL then return;
+  if node->node_type then return;
+  i = 0;
+  while i < 8
+  { child = node->subtrees[i];
+    if child <> NULL then
+    { if not child->node_type then detach_tree(child);
+      node->subtrees[i] = NULL;
+    }
+    i = i + 1;
+  }
+}
+
+/* One time step: rebuild the tree, then run BHL1 and BHL2. */
+procedure simulate_step(particles, theta, dt)
+{ var root;
+  root = build_tree(particles);
+  bh_force_pass(particles, root, theta);
+  bh_update_pass(particles, dt);
+  detach_tree(root);
+}
+
+/* Build a deterministic pseudo-random particle list of length n. */
+function make_particles(n)
+{ var head; var p; var i; var seed;
+  head = NULL;
+  i = 0;
+  seed = 12345;
+  while i < n
+  { p = new Octree;
+    p->node_type = true;
+    p->mass = 1.0;
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    p->x = (seed % 1000) / 500.0 - 1.0;
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    p->y = (seed % 1000) / 500.0 - 1.0;
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    p->z = (seed % 1000) / 500.0 - 1.0;
+    p->next = head;
+    head = p;
+    i = i + 1;
+  }
+  return head;
+}
+
+/* Run `steps` time steps over n particles; returns the particle list head. */
+function run_simulation(n, steps, theta, dt)
+{ var particles; var s;
+  particles = make_particles(n);
+  s = 0;
+  while s < steps
+  { simulate_step(particles, theta, dt);
+    s = s + 1;
+  }
+  return particles;
+}
+
+function main()
+{ var particles;
+  particles = run_simulation(16, 2, 0.5, 0.01);
+  return particles;
+}
+"""
+
+
+def barnes_hut_toy_source() -> str:
+    """The full toy-language source: the ADDS octree declaration plus the program."""
+    return OCTREE_SRC + _TOY_BODY
+
+
+@lru_cache(maxsize=None)
+def barnes_hut_toy_program() -> Program:
+    """Parse (and cache) the toy Barnes–Hut program."""
+    return parse_program(barnes_hut_toy_source())

@@ -1,0 +1,76 @@
+"""A minimal 3-vector used by the pointer-based Barnes–Hut code.
+
+The octree code is deliberately object/pointer based (that is the point of
+the paper), so positions and velocities are small value objects rather than
+rows of a NumPy array.  The handful of operations needed by the force and
+integration kernels are implemented directly; everything is plain Python
+floats to keep per-interaction cost predictable for the machine simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Vec3:
+    """An immutable 3-component vector."""
+
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+
+    # -- arithmetic ----------------------------------------------------------
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x * scalar, self.y * scalar, self.z * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x / scalar, self.y / scalar, self.z / scalar)
+
+    def __neg__(self) -> "Vec3":
+        return Vec3(-self.x, -self.y, -self.z)
+
+    # -- geometry -------------------------------------------------------------
+    def dot(self, other: "Vec3") -> float:
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def norm_squared(self) -> float:
+        return self.x * self.x + self.y * self.y + self.z * self.z
+
+    def norm(self) -> float:
+        return math.sqrt(self.norm_squared())
+
+    def distance_to(self, other: "Vec3") -> float:
+        dx = self.x - other.x
+        dy = self.y - other.y
+        dz = self.z - other.z
+        return math.sqrt(dx * dx + dy * dy + dz * dz)
+
+    def is_close(self, other: "Vec3", tol: float = 1e-9) -> bool:
+        return (
+            abs(self.x - other.x) <= tol
+            and abs(self.y - other.y) <= tol
+            and abs(self.z - other.z) <= tol
+        )
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.x, self.y, self.z)
+
+    @staticmethod
+    def zero() -> "Vec3":
+        return Vec3(0.0, 0.0, 0.0)
+
+    def __str__(self) -> str:
+        return f"({self.x:.6g}, {self.y:.6g}, {self.z:.6g})"
+
+
+ZERO = Vec3()

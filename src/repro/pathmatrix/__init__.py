@@ -1,0 +1,73 @@
+"""General path matrix analysis (paper section 3.3).
+
+The path matrix ``PM`` estimates, at every program point, the relationship
+between every pair of live pointer variables.  ``PM[r][s]`` records an
+explicit path or alias, if any, from the node pointed to by ``r`` to the node
+pointed to by ``s``:
+
+* ``=``        — definite alias (same node),
+* ``=?``       — possible alias,
+* ``f`` / ``f+`` — a path of exactly one / one-or-more ``f`` links,
+* *empty*      — no known path; in particular **not** aliases.
+
+The analysis is *general* in the sense of the paper: it handles structures
+that are DAG-like or cyclic by consulting the ADDS declaration — acyclic
+fields use the precise rules of Hendren's original path matrix analysis,
+while unknown-direction fields fall back to conservative approximations.
+It fulfils two roles (paper 3.3): capturing the current shape for
+**abstraction validation**, and answering **alias queries** for the
+transformation passes.
+
+Modules:
+
+* :mod:`repro.pathmatrix.paths`    — path/alias relation values,
+* :mod:`repro.pathmatrix.matrix`   — the :class:`PathMatrix` container,
+* :mod:`repro.pathmatrix.rules`    — pointer transfer rules per statement,
+* :mod:`repro.pathmatrix.analysis` — CFG fixed point + loop analysis,
+* :mod:`repro.pathmatrix.validation` — abstraction validation bookkeeping,
+* :mod:`repro.pathmatrix.interproc` — call-site handling via side-effect summaries,
+* :mod:`repro.pathmatrix.alias`    — the alias-query API used by transformations,
+* :mod:`repro.pathmatrix.baseline` — the fully conservative baseline,
+* :mod:`repro.pathmatrix.klimited` — a k-limited storage-graph baseline [JM81].
+"""
+
+from repro.pathmatrix.paths import Relation, PathEntry, EMPTY_ENTRY
+from repro.pathmatrix.matrix import PathMatrix
+from repro.pathmatrix.validation import Violation, ValidationState
+from repro.pathmatrix.rules import TransferContext, apply_statement
+from repro.pathmatrix.interproc import FunctionSummary, summarize_program
+from repro.pathmatrix.analysis import (
+    AnalysisResult,
+    PathMatrixAnalysis,
+    analyze_function,
+    analyze_loop_dependence,
+    LoopDependenceReport,
+)
+from repro.pathmatrix.alias import AliasOracle, AliasAnswer
+from repro.pathmatrix.baseline import ConservativeOracle, conservative_matrix
+from repro.pathmatrix.klimited import KLimitedAnalysis, KLimitedOracle, StorageGraph
+
+__all__ = [
+    "Relation",
+    "PathEntry",
+    "EMPTY_ENTRY",
+    "PathMatrix",
+    "Violation",
+    "ValidationState",
+    "TransferContext",
+    "apply_statement",
+    "FunctionSummary",
+    "summarize_program",
+    "AnalysisResult",
+    "PathMatrixAnalysis",
+    "analyze_function",
+    "analyze_loop_dependence",
+    "LoopDependenceReport",
+    "AliasOracle",
+    "AliasAnswer",
+    "ConservativeOracle",
+    "conservative_matrix",
+    "KLimitedAnalysis",
+    "KLimitedOracle",
+    "StorageGraph",
+]

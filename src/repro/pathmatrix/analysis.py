@@ -1,0 +1,498 @@
+"""Dataflow driver for general path matrix analysis.
+
+:class:`PathMatrixAnalysis` runs the transfer rules of
+:mod:`repro.pathmatrix.rules` to a fixed point over a function's CFG and
+exposes the resulting matrices per program point.  It also implements the
+*primed-variable* loop analysis the paper uses to argue about loop-carried
+dependences: a copy ``p'`` of each pointer variable updated in the loop body
+is introduced at the top of the body (aliasing the current value), the body's
+transfer functions are applied once, and the resulting entry ``PM[p'][p]``
+tells us how the values of ``p`` in consecutive iterations relate — a
+definite acyclic path with no alias possibility means consecutive (and by
+transitivity, all distinct) iterations operate on distinct nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adds.declaration import program_adds_types
+from repro.lang.ast_nodes import (
+    Assign,
+    Block,
+    Call,
+    ExprStmt,
+    FieldAccess,
+    FieldAssign,
+    FunctionDecl,
+    IndexAccess,
+    Name,
+    Program,
+    Stmt,
+    While,
+    collect_pointer_variables,
+    iter_statements,
+)
+from repro.lang.cfg import CFG, build_cfg
+from repro.lang.typecheck import check_program
+from repro.pathmatrix.interproc import FunctionSummary, summarize_program
+from repro.pathmatrix.matrix import PathMatrix
+from repro.pathmatrix.paths import PathEntry
+from repro.pathmatrix.rules import TransferContext, apply_statement
+
+
+MAX_FIXPOINT_ITERATIONS = 64
+
+
+@dataclass
+class AnalysisResult:
+    """Path matrices for one analyzed function."""
+
+    function: str
+    cfg: CFG
+    ctx: TransferContext
+    entry_matrices: dict[int, PathMatrix] = field(default_factory=dict)
+    exit_matrices: dict[int, PathMatrix] = field(default_factory=dict)
+    iterations: int = 0
+
+    def matrix_at_entry(self, block_index: int) -> PathMatrix:
+        return self.entry_matrices[block_index]
+
+    def matrix_at_exit(self, block_index: int) -> PathMatrix:
+        return self.exit_matrices[block_index]
+
+    def final_matrix(self) -> PathMatrix:
+        return self.exit_matrices[self.cfg.exit]
+
+    def matrix_before_loop(self, loop: While) -> PathMatrix:
+        """The matrix at the entry of ``loop``'s header block."""
+        for block in self.cfg.blocks:
+            if block.loop_header_of is loop:
+                return self.entry_matrices[block.index]
+        raise KeyError(f"loop at line {loop.line} not found in CFG of {self.function}")
+
+    def abstraction_valid_everywhere(self, type_name: str) -> bool:
+        """True when no program point carries an outstanding violation for ``type_name``."""
+        for pm in list(self.entry_matrices.values()) + list(self.exit_matrices.values()):
+            if not pm.validation.is_valid_for(type_name):
+                return False
+        return True
+
+    def abstraction_valid_at_exit(self, type_name: str) -> bool:
+        return self.final_matrix().validation.is_valid_for(type_name)
+
+    def violations(self) -> list:
+        return sorted(set(self.final_matrix().validation.violations), key=str)
+
+
+class PathMatrixAnalysis:
+    """Run general path matrix analysis over the functions of a program."""
+
+    def __init__(
+        self,
+        program: Program,
+        use_adds: bool = True,
+        compute_summaries: bool = True,
+    ):
+        self.program = program
+        self.use_adds = use_adds
+        self.check_result = check_program(program)
+        self.adds_types = program_adds_types(program)
+        self.summaries: dict[str, FunctionSummary] = (
+            summarize_program(program) if compute_summaries else {}
+        )
+        if compute_summaries:
+            self._mark_abstraction_preserving_summaries()
+
+    # -- context construction ------------------------------------------------
+    def _context_for(self, func: FunctionDecl) -> TransferContext:
+        env = self.check_result.environments.get(func.name)
+        pointer_vars = collect_pointer_variables(func, self.program)
+        if env is not None:
+            pointer_vars |= env.pointer_variables()
+        # Track parameters that are used as pointers: dereferenced (directly
+        # or through a copy — the type environment's backward propagation
+        # catches those), or forwarded to a pointer position of a callee.
+        # Scalar parameters (the `c` of the scaling loop, `theta`, `dt`) stay
+        # out of the matrix, as in the paper's examples.
+        summary = self.summaries.get(func.name)
+        for i, p in enumerate(func.params):
+            if summary is not None and i in summary.pointer_params:
+                pointer_vars.add(p.name)
+            elif env is not None and env.pointee_record(p.name) is not None:
+                pointer_vars.add(p.name)
+            elif summary is None and env is None:
+                pointer_vars.add(p.name)
+        var_types: dict[str, str] = {}
+        if env is not None:
+            for var in pointer_vars:
+                rec = env.pointee_record(var)
+                if rec is not None:
+                    var_types[var] = rec
+        return TransferContext(
+            program=self.program,
+            adds_types=self.adds_types,
+            var_types=var_types,
+            pointer_vars=pointer_vars,
+            summaries=self.summaries,
+            use_adds=self.use_adds,
+        )
+
+    def initial_matrix(self, func: FunctionDecl, ctx: TransferContext) -> PathMatrix:
+        """The matrix assumed on entry to ``func``.
+
+        Pointer parameters may alias each other (``=?``) unless they point to
+        different record types; locals start out untracked until assigned.
+        """
+        params = [p.name for p in func.params if p.name in ctx.pointer_vars]
+        pm = PathMatrix(params)
+        for i, a in enumerate(params):
+            for b in params[i + 1:]:
+                ta, tb = ctx.type_of_var(a), ctx.type_of_var(b)
+                if ta is not None and tb is not None and ta != tb and "__any__" not in (ta, tb):
+                    continue
+                pm.set(a, b, PathEntry.possible_alias())
+                pm.set(b, a, PathEntry.possible_alias())
+        return pm
+
+    # -- the fixed point -----------------------------------------------------
+    def analyze_function(
+        self, name: str, initial: PathMatrix | None = None
+    ) -> AnalysisResult:
+        func = self.program.function_named(name)
+        if func is None:
+            raise KeyError(f"no function named {name!r}")
+        ctx = self._context_for(func)
+        cfg = build_cfg(func)
+        init = initial.copy() if initial is not None else self.initial_matrix(func, ctx)
+        result = AnalysisResult(function=name, cfg=cfg, ctx=ctx)
+
+        order = cfg.reverse_postorder()
+        entry: dict[int, PathMatrix] = {cfg.entry: init}
+        exit_: dict[int, PathMatrix] = {}
+
+        for iteration in range(MAX_FIXPOINT_ITERATIONS):
+            changed = False
+            for idx in order:
+                block = cfg.block(idx)
+                if idx == cfg.entry:
+                    block_in = init
+                else:
+                    preds = [exit_[p] for p in block.predecessors if p in exit_]
+                    if not preds:
+                        continue
+                    block_in = preds[0]
+                    for other in preds[1:]:
+                        block_in = block_in.join(other)
+                old_in = entry.get(idx)
+                if old_in is None or not old_in.equivalent(block_in):
+                    entry[idx] = block_in
+                    changed = True
+                else:
+                    block_in = old_in
+                block_out = block_in
+                for stmt in block.statements:
+                    block_out = apply_statement(block_out, stmt, ctx)
+                old_out = exit_.get(idx)
+                if old_out is None or not old_out.equivalent(block_out):
+                    exit_[idx] = block_out
+                    changed = True
+            result.iterations = iteration + 1
+            if not changed:
+                break
+
+        result.entry_matrices = entry
+        result.exit_matrices = exit_
+        return result
+
+    def analyze_all(self) -> dict[str, AnalysisResult]:
+        return {f.name: self.analyze_function(f.name) for f in self.program.functions}
+
+    # -- abstraction-preservation of whole functions -----------------------------
+    def _mark_abstraction_preserving_summaries(self) -> None:
+        """Mark summaries of functions that restore every abstraction they break.
+
+        A function preserves the abstractions if its own path-matrix analysis
+        finds no outstanding violation at its exit point.  (Temporary breaks
+        inside the body — e.g. the subtree sharing during ``insert_particle``
+        — are fine.)  Recursive dependencies are handled by first assuming
+        preservation and then invalidating until a fixed point.
+        """
+        for summary in self.summaries.values():
+            summary.preserves_abstraction = True
+        for _ in range(3):
+            changed = False
+            for func in self.program.functions:
+                summary = self.summaries.get(func.name)
+                if summary is None or not summary.rearranges_shape:
+                    continue
+                try:
+                    result = self.analyze_function(func.name)
+                except Exception:
+                    ok = False
+                else:
+                    ok = result.final_matrix().validation.is_valid()
+                if summary.preserves_abstraction != ok:
+                    summary.preserves_abstraction = ok
+                    changed = True
+            if not changed:
+                break
+
+
+# ---------------------------------------------------------------------------
+# loop analysis with primed variables
+# ---------------------------------------------------------------------------
+@dataclass
+class LoopDependenceReport:
+    """What the analysis concluded about one traversal loop.
+
+    ``induction_vars`` maps each pointer variable updated by the loop to the
+    field it traverses; ``independent_vars`` are those proven to point to a
+    different node on every iteration (the ``PM[p'][p]`` test).
+    ``writes``/``reads`` list the (variable, field) access paths of the body.
+    ``carried_dependences`` lists human-readable reasons parallelization
+    would be unsafe; an empty list together with a valid abstraction means
+    the loop is parallelizable (up to the sequential pointer-chasing itself).
+    """
+
+    loop_line: int | None
+    induction_vars: dict[str, str] = field(default_factory=dict)
+    independent_vars: set[str] = field(default_factory=set)
+    writes: list[tuple[str, str]] = field(default_factory=list)
+    reads: list[tuple[str, str]] = field(default_factory=list)
+    carried_dependences: list[str] = field(default_factory=list)
+    abstraction_valid: bool = True
+    matrix_at_entry: PathMatrix | None = None
+    matrix_after_body: PathMatrix | None = None
+
+    @property
+    def parallelizable(self) -> bool:
+        return self.abstraction_valid and not self.carried_dependences
+
+    def describe(self) -> str:
+        lines = [f"loop at line {self.loop_line}:"]
+        for var, fld in self.induction_vars.items():
+            status = "independent" if var in self.independent_vars else "possibly repeating"
+            lines.append(f"  traversal {var} = {var}->{fld}: {status}")
+        lines.append(f"  abstraction valid: {self.abstraction_valid}")
+        if self.carried_dependences:
+            lines.append("  loop-carried dependences:")
+            for dep in self.carried_dependences:
+                lines.append(f"    - {dep}")
+        else:
+            lines.append("  no loop-carried dependences (apart from the traversal itself)")
+        lines.append(f"  parallelizable: {self.parallelizable}")
+        return "\n".join(lines)
+
+
+PRIME_SUFFIX = "'"
+
+
+def _find_traversal_updates(body: Block) -> dict[str, str]:
+    """Pointer-induction updates ``p = p->f`` appearing directly in ``body``."""
+    updates: dict[str, str] = {}
+    for stmt in iter_statements(body):
+        if isinstance(stmt, Assign) and isinstance(stmt.value, FieldAccess):
+            value = stmt.value
+            if isinstance(value.base, Name) and value.base.ident == stmt.target:
+                updates[stmt.target] = value.field
+    return updates
+
+
+def _collect_accesses(
+    body: Block, summaries: dict[str, FunctionSummary]
+) -> tuple[list[tuple[str, str]], list[tuple[str, str]]]:
+    """(writes, reads) as (variable, field) pairs, including callee effects."""
+    writes: list[tuple[str, str]] = []
+    reads: list[tuple[str, str]] = []
+    for stmt in iter_statements(body):
+        if isinstance(stmt, FieldAssign) and isinstance(stmt.base, Name):
+            writes.append((stmt.base.ident, stmt.field))
+        for node in stmt.walk():
+            if isinstance(node, FieldAccess) and isinstance(node.base, Name):
+                is_store_target = (
+                    isinstance(stmt, FieldAssign)
+                    and node is not None
+                    and isinstance(stmt.base, Name)
+                    and node.base.ident == stmt.base.ident
+                    and node.field == stmt.field
+                )
+                if not is_store_target:
+                    reads.append((node.base.ident, node.field))
+            if isinstance(node, Call):
+                summary = summaries.get(node.func)
+                if summary is None:
+                    continue
+                for i, arg in enumerate(node.args):
+                    if not isinstance(arg, Name):
+                        continue
+                    if summary.pointer_params and i not in summary.pointer_params:
+                        continue  # a scalar argument: no heap accesses through it
+                    if i in summary.written_params or summary.writes_through_unknown:
+                        for fld in summary.data_fields_written | summary.pointer_fields_written:
+                            writes.append((arg.ident, fld))
+                    # fields the callee may read through any reachable node
+                    if summary.fields_read:
+                        for fld in summary.fields_read:
+                            reads.append((arg.ident, fld))
+                    else:
+                        reads.append((arg.ident, "*"))
+    return writes, reads
+
+
+def analyze_loop_dependence(
+    program: Program,
+    function_name: str,
+    loop: While | None = None,
+    use_adds: bool = True,
+) -> LoopDependenceReport:
+    """Analyze a pointer-traversal loop for loop-carried dependences.
+
+    ``loop`` defaults to the first ``while`` loop of the function.  The
+    report's :attr:`~LoopDependenceReport.parallelizable` flag is the answer
+    to "may the loop's iterations be executed in parallel (modulo the
+    sequential traversal)?" — the question the strip-mining transformation
+    of section 4.3.3 needs answered.
+    """
+    analysis = PathMatrixAnalysis(program, use_adds=use_adds)
+    func = program.function_named(function_name)
+    if func is None:
+        raise KeyError(f"no function named {function_name!r}")
+    if loop is None:
+        loops = [s for s in iter_statements(func.body) if isinstance(s, While)]
+        if not loops:
+            raise ValueError(f"function {function_name!r} contains no while loop")
+        loop = loops[0]
+
+    result = analysis.analyze_function(function_name)
+    ctx = result.ctx
+    pm_entry = result.matrix_before_loop(loop)
+
+    report = LoopDependenceReport(loop_line=loop.line, matrix_at_entry=pm_entry)
+    report.induction_vars = _find_traversal_updates(loop.body)
+
+    # abstraction validity at loop entry, restricted to the types whose ADDS
+    # properties the traversal relies on
+    relevant_types = set()
+    for var in report.induction_vars:
+        t = ctx.type_of_var(var)
+        if t:
+            relevant_types.add(t)
+    if not relevant_types:
+        relevant_types = set(analysis.adds_types)
+    report.abstraction_valid = all(
+        pm_entry.validation.is_valid_for(t) for t in relevant_types
+    )
+
+    # primed-variable pass over one loop body execution
+    pm = pm_entry.copy()
+    primes: dict[str, str] = {}
+    for var in report.induction_vars:
+        primed = var + PRIME_SUFFIX
+        primes[var] = primed
+        pm.ensure_variable(primed)
+        pm.copy_variable(primed, var)
+    for stmt in loop.body.statements:
+        pm = _apply_nested(pm, stmt, ctx)
+    report.matrix_after_body = pm
+
+    for var, primed in primes.items():
+        if pm.definitely_not_alias(primed, var):
+            report.independent_vars.add(var)
+        else:
+            report.carried_dependences.append(
+                f"traversal variable {var!r} may revisit a node "
+                f"(PM[{primed}][{var}] allows aliasing)"
+            )
+
+    # cross-iteration conflicts between body accesses
+    report.writes, report.reads = _collect_accesses(loop.body, analysis.summaries)
+    report.carried_dependences.extend(
+        _conflicts_across_iterations(pm, primes, report.writes, report.reads, ctx)
+    )
+    if not report.abstraction_valid:
+        report.carried_dependences.append(
+            "ADDS abstraction not valid at loop entry; traversal properties unusable"
+        )
+    return report
+
+
+def _apply_nested(pm: PathMatrix, stmt: Stmt, ctx: TransferContext) -> PathMatrix:
+    """Apply a statement including (conservatively) nested control flow."""
+    from repro.lang.ast_nodes import For, If, ParallelFor
+
+    if isinstance(stmt, If):
+        taken = pm
+        for inner in stmt.then_body.statements:
+            taken = _apply_nested(taken, inner, ctx)
+        other = pm
+        if stmt.else_body is not None:
+            for inner in stmt.else_body.statements:
+                other = _apply_nested(other, inner, ctx)
+        return taken.join(other)
+    if isinstance(stmt, (While, For, ParallelFor)):
+        body_pm = pm
+        for _ in range(2):  # small unrolled fixed point
+            nxt = body_pm
+            for inner in stmt.body.statements:
+                nxt = _apply_nested(nxt, inner, ctx)
+            nxt = body_pm.join(nxt)
+            if nxt.equivalent(body_pm):
+                break
+            body_pm = nxt
+        return pm.join(body_pm)
+    return apply_statement(pm, stmt, ctx)
+
+
+def _conflicts_across_iterations(
+    pm: PathMatrix,
+    primes: dict[str, str],
+    writes: list[tuple[str, str]],
+    reads: list[tuple[str, str]],
+    ctx: TransferContext,
+) -> list[str]:
+    """Write/write and write/read conflicts between different iterations.
+
+    An access through variable ``v`` in the *previous* iteration is modelled
+    by ``v`` with every induction variable replaced by its primed copy; a
+    conflict exists when the primed access may alias the current one and the
+    fields overlap.
+    """
+    conflicts: list[str] = []
+
+    def primed_of(var: str) -> str:
+        return primes.get(var, var)
+
+    def fields_overlap(f1: str, f2: str) -> bool:
+        return f1 == "*" or f2 == "*" or f1 == f2
+
+    seen: set[tuple[str, str, str, str, str]] = set()
+    for w_var, w_field in writes:
+        for o_var, o_field, kind in (
+            [(v, f, "write") for v, f in writes] + [(v, f, "read") for v, f in reads]
+        ):
+            if not fields_overlap(w_field, o_field):
+                continue
+            prev_var = primed_of(o_var)
+            if prev_var == o_var and o_var not in primes and w_var not in primes:
+                # neither access depends on an induction variable: both refer
+                # to loop-invariant nodes, a genuine conflict only if they may
+                # alias (and then it is loop-carried as well)
+                pass
+            if pm.may_alias(w_var, prev_var):
+                key = (w_var, w_field, o_var, o_field, kind)
+                if key in seen:
+                    continue
+                seen.add(key)
+                conflicts.append(
+                    f"write {w_var}->{w_field} may conflict with previous-iteration "
+                    f"{kind} {o_var}->{o_field}"
+                )
+    return conflicts
+
+
+def analyze_function(
+    program: Program, name: str, use_adds: bool = True
+) -> AnalysisResult:
+    """Convenience wrapper around :class:`PathMatrixAnalysis`."""
+    return PathMatrixAnalysis(program, use_adds=use_adds).analyze_function(name)

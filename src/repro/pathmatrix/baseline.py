@@ -1,0 +1,72 @@
+"""The conservative baseline: no structure information at all.
+
+This is approach (1) of the paper's section 2.1 — "concentrate on analyzing
+arrays, and make overly conservative assumptions for all pointer data
+structures".  Every pair of pointer variables may alias, every pair of heap
+accesses through pointers may conflict, and no traversal loop can be
+parallelized.  The precision experiments (DESIGN.md experiment E5) compare
+this oracle against the k-limited baseline and against ADDS + general path
+matrix analysis.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import FunctionDecl, Program, collect_pointer_variables
+from repro.pathmatrix.alias import AccessPath, AliasAnswer
+from repro.pathmatrix.matrix import PathMatrix
+
+
+def conservative_matrix(variables: list[str]) -> PathMatrix:
+    """A path matrix with ``=?`` in every off-diagonal entry.
+
+    This reproduces the left-hand matrix of the paper's section 3.3.2: if the
+    compiler cannot discover that ``next`` traverses the list acyclically, it
+    must assume that ``head`` and all values of ``p`` are potential aliases.
+    """
+    return PathMatrix.conservative(variables)
+
+
+def conservative_matrix_for(program: Program, function_name: str) -> PathMatrix:
+    func = program.function_named(function_name)
+    if func is None:
+        raise KeyError(f"no function named {function_name!r}")
+    pointer_vars = collect_pointer_variables(func, program)
+    for p in func.params:
+        pointer_vars.add(p.name)
+    return conservative_matrix(sorted(pointer_vars))
+
+
+class ConservativeOracle:
+    """An alias oracle that can never say "no"."""
+
+    name = "conservative"
+
+    def __init__(self, variables: list[str] | None = None):
+        self.variables = list(variables or [])
+
+    def alias(self, a: str, b: str) -> AliasAnswer:
+        return AliasAnswer.MUST if a == b else AliasAnswer.MAY
+
+    def may_alias(self, a: str, b: str) -> bool:
+        return True
+
+    def must_alias(self, a: str, b: str) -> bool:
+        return a == b
+
+    def access_conflict(self, a: AccessPath, b: AccessPath) -> AliasAnswer:
+        if a.field is None and b.field is None:
+            return AliasAnswer.MUST if a.var == b.var else AliasAnswer.NO
+        if a.field is None or b.field is None:
+            return AliasAnswer.NO
+        if a.field != "*" and b.field != "*" and a.field != b.field:
+            return AliasAnswer.NO
+        return self.alias(a.var, b.var)
+
+    def may_conflict(self, a: AccessPath, b: AccessPath) -> bool:
+        return self.access_conflict(a, b).possible
+
+    def not_aliased_pairs(self) -> list[tuple[str, str]]:
+        return []
+
+    def precision_score(self) -> float:
+        return 0.0

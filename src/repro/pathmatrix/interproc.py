@@ -1,0 +1,237 @@
+"""Interprocedural side-effect summaries.
+
+The paper analyzes the Barnes–Hut program interprocedurally: ``build_tree``
+(and its helpers) are validated bottom-up, ``compute_force`` is shown to be
+read-only with respect to the octree reachable from ``root``, and
+``compute_new_vel_pos`` writes only data fields of its argument.  This module
+computes the per-function summaries that make those arguments possible at
+call sites:
+
+* which *data* fields a call may write (transitively),
+* which *pointer* fields a call may write — i.e. whether it can rearrange a
+  structure's shape,
+* whether the function allocates, returns a freshly built structure, may
+  return one of its parameters, or may return NULL,
+* which parameters' reachable structure it may write through.
+
+Summaries are computed to a transitive fixed point over the (possibly
+recursive) call graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Call,
+    Expr,
+    FieldAccess,
+    FieldAssign,
+    FunctionDecl,
+    IndexAccess,
+    Name,
+    New,
+    NullLit,
+    Program,
+    Return,
+    iter_statements,
+)
+
+
+@dataclass
+class FunctionSummary:
+    """Side effects of one function, transitively including its callees."""
+
+    name: str
+    #: data (non-pointer) fields possibly written, by field name
+    data_fields_written: set[str] = field(default_factory=set)
+    #: pointer fields possibly written, by field name
+    pointer_fields_written: set[str] = field(default_factory=set)
+    #: fields possibly read (data and pointer alike), by field name
+    fields_read: set[str] = field(default_factory=set)
+    #: indices of parameters through which writes may occur
+    written_params: set[int] = field(default_factory=set)
+    #: True when some store goes through a non-parameter pointer, so the
+    #: written structure cannot be attributed to a specific parameter
+    writes_through_unknown: bool = False
+    #: indices of parameters the return value may alias / reach
+    may_return_params: set[int] = field(default_factory=set)
+    #: indices of parameters actually used as pointers (dereferenced, stored
+    #: through, or forwarded to a pointer position of a callee)
+    pointer_params: set[int] = field(default_factory=set)
+    allocates: bool = False
+    returns_fresh: bool = False
+    returns_null: bool = False
+    callees: set[str] = field(default_factory=set)
+    #: True when the function writes pointer fields (may change shapes)
+    rearranges_shape: bool = False
+    #: set by the validation pass when the function provably restores every
+    #: ADDS abstraction it breaks before returning
+    preserves_abstraction: bool = False
+
+    @property
+    def is_read_only(self) -> bool:
+        """No field of any reachable structure is written."""
+        return not self.data_fields_written and not self.pointer_fields_written
+
+    def describe(self) -> str:
+        parts = [f"summary of {self.name}:"]
+        parts.append(f"  data fields written: {sorted(self.data_fields_written) or '(none)'}")
+        parts.append(
+            f"  pointer fields written: {sorted(self.pointer_fields_written) or '(none)'}"
+        )
+        parts.append(f"  allocates: {self.allocates}, returns fresh: {self.returns_fresh}")
+        parts.append(f"  rearranges shape: {self.rearranges_shape}")
+        parts.append(f"  preserves abstraction: {self.preserves_abstraction}")
+        return "\n".join(parts)
+
+
+def _is_pointer_field(program: Program, field_name: str) -> bool:
+    for decl in program.types:
+        fdecl = decl.field_named(field_name)
+        if fdecl is not None and fdecl.is_pointer:
+            return True
+    return False
+
+
+def _summarize_one(program: Program, func: FunctionDecl) -> FunctionSummary:
+    """Direct (non-transitive) effects of ``func``."""
+    summary = FunctionSummary(name=func.name)
+    param_names = {p.name: i for i, p in enumerate(func.params)}
+    returns_values: list[Expr] = []
+    locally_fresh: set[str] = set()
+
+    for stmt in iter_statements(func.body):
+        if isinstance(stmt, FieldAssign):
+            if _is_pointer_field(program, stmt.field):
+                summary.pointer_fields_written.add(stmt.field)
+            else:
+                summary.data_fields_written.add(stmt.field)
+            if isinstance(stmt.base, Name) and stmt.base.ident in param_names:
+                summary.written_params.add(param_names[stmt.base.ident])
+            else:
+                summary.writes_through_unknown = True
+        if isinstance(stmt, FieldAssign) and isinstance(stmt.base, Name):
+            if stmt.base.ident in param_names:
+                summary.pointer_params.add(param_names[stmt.base.ident])
+        for node in stmt.walk():
+            if isinstance(node, FieldAccess):
+                is_store_target = (
+                    isinstance(stmt, FieldAssign)
+                    and node.base is stmt.base
+                    and node.field == stmt.field
+                )
+                if not is_store_target:
+                    summary.fields_read.add(node.field)
+                if isinstance(node.base, Name) and node.base.ident in param_names:
+                    summary.pointer_params.add(param_names[node.base.ident])
+        if isinstance(stmt, Assign):
+            if isinstance(stmt.value, New):
+                summary.allocates = True
+                locally_fresh.add(stmt.target)
+            elif isinstance(stmt.value, Name) and stmt.value.ident in locally_fresh:
+                locally_fresh.add(stmt.target)
+            elif stmt.target in locally_fresh and not isinstance(stmt.value, New):
+                # reassigned from something else: no longer certainly fresh
+                if not (isinstance(stmt.value, Name) and stmt.value.ident in locally_fresh):
+                    locally_fresh.discard(stmt.target)
+        if isinstance(stmt, Return) and stmt.value is not None:
+            returns_values.append(stmt.value)
+        for node in stmt.walk():
+            if isinstance(node, Call):
+                summary.callees.add(node.func)
+
+    # classify the return value
+    if returns_values:
+        all_null = all(isinstance(v, NullLit) for v in returns_values)
+        summary.returns_null = all_null
+        for value in returns_values:
+            if isinstance(value, New):
+                summary.returns_fresh = True
+            elif isinstance(value, Name):
+                if value.ident in param_names:
+                    summary.may_return_params.add(param_names[value.ident])
+                elif value.ident in locally_fresh:
+                    summary.returns_fresh = True
+                else:
+                    # unknown local: may reach any pointer parameter
+                    summary.may_return_params |= set(param_names.values())
+            elif isinstance(value, (FieldAccess, IndexAccess, Call)):
+                summary.may_return_params |= set(param_names.values())
+    summary.rearranges_shape = bool(summary.pointer_fields_written)
+    return summary
+
+
+def _call_argument_map(program: Program) -> dict[str, list[tuple[str, dict[int, int]]]]:
+    """For each function, the calls it makes with a callee-param -> caller-param map."""
+    result: dict[str, list[tuple[str, dict[int, int]]]] = {}
+    for func in program.functions:
+        param_names = {p.name: i for i, p in enumerate(func.params)}
+        edges: list[tuple[str, dict[int, int]]] = []
+        for stmt in iter_statements(func.body):
+            for node in stmt.walk():
+                if isinstance(node, Call):
+                    mapping: dict[int, int] = {}
+                    for j, arg in enumerate(node.args):
+                        if isinstance(arg, Name) and arg.ident in param_names:
+                            mapping[j] = param_names[arg.ident]
+                    edges.append((node.func, mapping))
+        result[func.name] = edges
+    return result
+
+
+def summarize_program(program: Program) -> dict[str, FunctionSummary]:
+    """Compute transitive side-effect summaries for every function."""
+    summaries = {f.name: _summarize_one(program, f) for f in program.functions}
+    call_maps = _call_argument_map(program)
+
+    # propagate callee effects to callers until a fixed point
+    changed = True
+    iterations = 0
+    while changed and iterations < len(summaries) + 5:
+        changed = False
+        iterations += 1
+        for name, edges in call_maps.items():
+            caller = summaries[name]
+            for callee_name, mapping in edges:
+                callee = summaries.get(callee_name)
+                if callee is None:
+                    continue
+                for callee_idx, caller_idx in mapping.items():
+                    if callee_idx in callee.pointer_params and caller_idx not in caller.pointer_params:
+                        caller.pointer_params.add(caller_idx)
+                        changed = True
+        for summary in summaries.values():
+            for callee_name in list(summary.callees):
+                callee = summaries.get(callee_name)
+                if callee is None:
+                    continue  # builtin
+                before = (
+                    len(summary.data_fields_written),
+                    len(summary.pointer_fields_written),
+                    len(summary.fields_read),
+                    summary.allocates,
+                    summary.rearranges_shape,
+                )
+                summary.data_fields_written |= callee.data_fields_written
+                summary.pointer_fields_written |= callee.pointer_fields_written
+                summary.fields_read |= callee.fields_read
+                summary.allocates = summary.allocates or callee.allocates
+                summary.rearranges_shape = (
+                    summary.rearranges_shape or callee.rearranges_shape
+                )
+                if not callee.is_read_only:
+                    # the callee's writes go through structure we cannot map
+                    # back onto this function's own parameters
+                    summary.writes_through_unknown = True
+                after = (
+                    len(summary.data_fields_written),
+                    len(summary.pointer_fields_written),
+                    len(summary.fields_read),
+                    summary.allocates,
+                    summary.rearranges_shape,
+                )
+                if before != after:
+                    changed = True
+    return summaries

@@ -1,0 +1,211 @@
+"""The :class:`PathMatrix` container.
+
+A path matrix holds one :class:`~repro.pathmatrix.paths.PathEntry` per
+ordered pair of tracked pointer variables, plus the set of variables known
+to be nil (NULL) and the current abstraction-validation state.  Matrices are
+mutable value objects: the transfer rules copy them before updating, and the
+dataflow analysis joins them at control-flow merge points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.pathmatrix.paths import EMPTY_ENTRY, PathEntry, Relation
+from repro.pathmatrix.validation import ValidationState
+
+
+class PathMatrix:
+    """Pairwise relationships between live pointer variables at one program point."""
+
+    def __init__(self, variables: Iterable[str] = ()):
+        self.variables: list[str] = list(dict.fromkeys(variables))
+        self._entries: dict[tuple[str, str], PathEntry] = {}
+        #: variables currently known to be NULL (their rows/columns are empty)
+        self.nil_vars: set[str] = set()
+        #: abstraction-validation bookkeeping (shared shape violations)
+        self.validation = ValidationState()
+
+    # -- structural operations ---------------------------------------------
+    def copy(self) -> "PathMatrix":
+        new = PathMatrix(self.variables)
+        new._entries = dict(self._entries)
+        new.nil_vars = set(self.nil_vars)
+        new.validation = self.validation.copy()
+        return new
+
+    def ensure_variable(self, name: str) -> None:
+        if name not in self.variables:
+            self.variables.append(name)
+
+    def remove_variable(self, name: str) -> None:
+        if name in self.variables:
+            self.variables.remove(name)
+        self.nil_vars.discard(name)
+        self._entries = {
+            key: entry for key, entry in self._entries.items() if name not in key
+        }
+
+    # -- entry accessors -------------------------------------------------------
+    def get(self, row: str, col: str) -> PathEntry:
+        if row == col:
+            # The diagonal is the definite self-alias unless the variable is nil.
+            if row in self.nil_vars:
+                return EMPTY_ENTRY
+            return PathEntry.definite_alias()
+        return self._entries.get((row, col), EMPTY_ENTRY)
+
+    def set(self, row: str, col: str, entry: PathEntry) -> None:
+        self.ensure_variable(row)
+        self.ensure_variable(col)
+        if row == col:
+            return
+        if entry.is_empty():
+            self._entries.pop((row, col), None)
+        else:
+            self._entries[(row, col)] = entry
+
+    def add_relation(self, row: str, col: str, relation: Relation) -> None:
+        self.set(row, col, self.get(row, col).add(relation))
+
+    def clear_row_and_column(self, name: str) -> None:
+        """Remove every relationship involving ``name`` (used when killing a var)."""
+        self._entries = {
+            key: entry for key, entry in self._entries.items() if name not in key
+        }
+
+    def set_nil(self, name: str) -> None:
+        self.ensure_variable(name)
+        self.clear_row_and_column(name)
+        self.nil_vars.add(name)
+
+    def set_fresh(self, name: str) -> None:
+        """``name`` now points to a newly allocated node unrelated to everything."""
+        self.ensure_variable(name)
+        self.clear_row_and_column(name)
+        self.nil_vars.discard(name)
+
+    def copy_variable(self, dst: str, src: str) -> None:
+        """Make ``dst`` an exact alias of ``src`` (the ``p = q`` rule)."""
+        self.ensure_variable(dst)
+        self.clear_row_and_column(dst)
+        if src in self.nil_vars:
+            self.nil_vars.add(dst)
+            return
+        self.nil_vars.discard(dst)
+        for other in self.variables:
+            if other in (dst, src):
+                continue
+            self.set(dst, other, self.get(src, other))
+            self.set(other, dst, self.get(other, src))
+        self.set(dst, src, PathEntry.definite_alias())
+        self.set(src, dst, PathEntry.definite_alias())
+
+    # -- queries -----------------------------------------------------------------
+    def may_alias(self, a: str, b: str) -> bool:
+        if a == b:
+            return a not in self.nil_vars
+        if a in self.nil_vars or b in self.nil_vars:
+            return False
+        if a not in self.variables or b not in self.variables:
+            return True  # unknown variables: be conservative
+        return self.get(a, b).may_alias or self.get(b, a).may_alias
+
+    def must_alias(self, a: str, b: str) -> bool:
+        if a == b:
+            return a not in self.nil_vars
+        return self.get(a, b).must_alias or self.get(b, a).must_alias
+
+    def definitely_not_alias(self, a: str, b: str) -> bool:
+        return not self.may_alias(a, b)
+
+    def is_nil(self, name: str) -> bool:
+        return name in self.nil_vars
+
+    def pointers_reaching(self, target: str) -> list[str]:
+        """Variables with a known path or alias to ``target``."""
+        result = []
+        for var in self.variables:
+            if var == target:
+                continue
+            entry = self.get(var, target)
+            if not entry.is_empty():
+                result.append(var)
+        return result
+
+    def entries(self) -> Iterator[tuple[str, str, PathEntry]]:
+        for (row, col), entry in self._entries.items():
+            yield row, col, entry
+
+    # -- lattice operations ---------------------------------------------------------
+    def join(self, other: "PathMatrix") -> "PathMatrix":
+        """Control-flow join (least upper bound) of two matrices."""
+        result = PathMatrix(list(dict.fromkeys(self.variables + other.variables)))
+        # a variable is nil only if nil on both incoming paths
+        result.nil_vars = self.nil_vars & other.nil_vars
+        half_nil = (self.nil_vars | other.nil_vars) - result.nil_vars
+        for row in result.variables:
+            for col in result.variables:
+                if row == col:
+                    continue
+                joined = self.get(row, col).join(other.get(row, col))
+                # a variable nil on one path only: its relations are merely possible
+                if row in half_nil or col in half_nil:
+                    joined = joined.weakened()
+                result.set(row, col, joined)
+        result.validation = self.validation.join(other.validation)
+        return result
+
+    def equivalent(self, other: "PathMatrix") -> bool:
+        if set(self.variables) != set(other.variables):
+            return False
+        if self.nil_vars != other.nil_vars:
+            return False
+        if not self.validation.equivalent(other.validation):
+            return False
+        for row in self.variables:
+            for col in self.variables:
+                if row == col:
+                    continue
+                if self.get(row, col) != other.get(row, col):
+                    return False
+        return True
+
+    # -- conservative construction ----------------------------------------------
+    @staticmethod
+    def conservative(variables: Iterable[str]) -> "PathMatrix":
+        """The matrix with ``=?`` everywhere — what a compiler must assume
+        when it has no structure information (paper section 3.3.2)."""
+        pm = PathMatrix(variables)
+        for row in pm.variables:
+            for col in pm.variables:
+                if row != col:
+                    pm.set(row, col, PathEntry.possible_alias())
+        return pm
+
+    # -- presentation ------------------------------------------------------------
+    def to_table(self, order: list[str] | None = None) -> str:
+        """Render the matrix in the paper's tabular style."""
+        vars_order = order or self.variables
+        width = max([len(v) for v in vars_order] + [4]) + 2
+        header = " " * width + "".join(v.ljust(width) for v in vars_order)
+        lines = [header]
+        for row in vars_order:
+            cells = []
+            for col in vars_order:
+                if row == col:
+                    cell = "=" if row not in self.nil_vars else "nil"
+                else:
+                    cell = str(self.get(row, col))
+                cells.append(cell.ljust(width))
+            lines.append(row.ljust(width) + "".join(cells))
+        if self.validation.violations:
+            lines.append("violations: " + "; ".join(str(v) for v in self.validation.violations))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_table()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PathMatrix(vars={self.variables}, entries={len(self._entries)})"

@@ -1,0 +1,195 @@
+"""Relation values stored in path matrix entries.
+
+An entry ``PM[r][s]`` is a :class:`PathEntry`: a (small, immutable) set of
+:class:`Relation` values.  The relations mirror the notations used in the
+paper's worked examples:
+
+=========  ================================================================
+notation    meaning
+=========  ================================================================
+``=``       definite alias — r and s point to the same node
+``=?``      possible alias
+``f``       a path of exactly one ``f`` link from r's node to s's node
+``f+``      a path of one or more ``f`` links
+``f?`` etc  the same, but only *possibly* present (after a control-flow join)
+(empty)     no known relationship; in particular r and s are **not** aliases
+=========  ================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+
+@dataclass(frozen=True, order=True)
+class Relation:
+    """A single relationship between two pointer variables.
+
+    ``kind`` is ``"alias"`` or ``"path"``.  For paths, ``field`` names the
+    link field and ``plus`` records whether the path may be longer than one
+    link.  ``definite`` distinguishes facts that hold on every execution path
+    reaching the program point from facts that hold on some of them.
+    """
+
+    kind: str                    # "alias" | "path"
+    field: str = ""              # for kind == "path"
+    plus: bool = False           # path of length >= 1 (rather than exactly 1)
+    definite: bool = True
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def alias(definite: bool = True) -> "Relation":
+        return Relation(kind="alias", definite=definite)
+
+    @staticmethod
+    def path(field: str, plus: bool = False, definite: bool = True) -> "Relation":
+        return Relation(kind="path", field=field, plus=plus, definite=definite)
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def is_alias(self) -> bool:
+        return self.kind == "alias"
+
+    @property
+    def is_path(self) -> bool:
+        return self.kind == "path"
+
+    def weakened(self) -> "Relation":
+        """The same relation, but only possibly holding."""
+        if not self.definite:
+            return self
+        return Relation(kind=self.kind, field=self.field, plus=self.plus, definite=False)
+
+    def extended(self) -> "Relation":
+        """A path extended by one more link of the same field (f -> f+)."""
+        if self.is_path:
+            return Relation(kind="path", field=self.field, plus=True, definite=self.definite)
+        return self
+
+    def __str__(self) -> str:
+        if self.is_alias:
+            return "=" if self.definite else "=?"
+        text = self.field + ("+" if self.plus else "")
+        return text if self.definite else text + "?"
+
+
+class PathEntry:
+    """An immutable set of :class:`Relation` values (one matrix cell)."""
+
+    __slots__ = ("relations",)
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self.relations: FrozenSet[Relation] = frozenset(relations)
+
+    # -- constructors ---------------------------------------------------------
+    @staticmethod
+    def empty() -> "PathEntry":
+        return EMPTY_ENTRY
+
+    @staticmethod
+    def definite_alias() -> "PathEntry":
+        return PathEntry([Relation.alias(definite=True)])
+
+    @staticmethod
+    def possible_alias() -> "PathEntry":
+        return PathEntry([Relation.alias(definite=False)])
+
+    @staticmethod
+    def single_path(field: str, plus: bool = False, definite: bool = True) -> "PathEntry":
+        return PathEntry([Relation.path(field, plus=plus, definite=definite)])
+
+    # -- queries ----------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self.relations
+
+    @property
+    def may_alias(self) -> bool:
+        """True when the entry allows the two pointers to name the same node."""
+        return any(r.is_alias for r in self.relations)
+
+    @property
+    def must_alias(self) -> bool:
+        return any(r.is_alias and r.definite for r in self.relations)
+
+    @property
+    def has_path(self) -> bool:
+        return any(r.is_path for r in self.relations)
+
+    def path_fields(self) -> set[str]:
+        return {r.field for r in self.relations if r.is_path}
+
+    def paths(self) -> list[Relation]:
+        return sorted(r for r in self.relations if r.is_path)
+
+    def guarantees_not_alias(self) -> bool:
+        """The paper: an empty entry (or a pure-path entry) guarantees no alias."""
+        return not self.may_alias
+
+    # -- algebra ---------------------------------------------------------------
+    def add(self, relation: Relation) -> "PathEntry":
+        if relation in self.relations:
+            return self
+        return PathEntry(self.relations | {relation})
+
+    def union(self, other: "PathEntry") -> "PathEntry":
+        if not other.relations:
+            return self
+        if not self.relations:
+            return other
+        return PathEntry(self.relations | other.relations)
+
+    def join(self, other: "PathEntry") -> "PathEntry":
+        """Control-flow join of two entries (least upper bound).
+
+        Relations present on both sides keep their strength (a definite
+        relation joined with the same definite relation stays definite);
+        relations present on only one side are weakened to "possible".
+        An empty entry on one side therefore weakens everything from the
+        other side — including downgrading ``=`` to ``=?``.
+        """
+        if self.relations == other.relations:
+            return self
+        result: set[Relation] = set()
+        mine = {self._key(r): r for r in self.relations}
+        theirs = {self._key(r): r for r in other.relations}
+        for key in set(mine) | set(theirs):
+            a, b = mine.get(key), theirs.get(key)
+            if a is not None and b is not None:
+                definite = a.definite and b.definite
+                base = a if a.definite else b
+                result.add(
+                    Relation(kind=base.kind, field=base.field, plus=base.plus, definite=definite)
+                )
+            else:
+                present = a if a is not None else b
+                assert present is not None
+                result.add(present.weakened())
+        return PathEntry(result)
+
+    def weakened(self) -> "PathEntry":
+        """Every relation becomes merely possible."""
+        return PathEntry(r.weakened() for r in self.relations)
+
+    @staticmethod
+    def _key(relation: Relation) -> tuple:
+        return (relation.kind, relation.field, relation.plus)
+
+    # -- presentation --------------------------------------------------------------
+    def __str__(self) -> str:
+        if not self.relations:
+            return ""
+        return ",".join(str(r) for r in sorted(self.relations))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PathEntry({sorted(self.relations)})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PathEntry) and self.relations == other.relations
+
+    def __hash__(self) -> int:
+        return hash(self.relations)
+
+
+#: The canonical empty entry ("no known relationship; definitely not aliases").
+EMPTY_ENTRY = PathEntry()

@@ -1,0 +1,45 @@
+"""Concrete pointer data structures from the paper's motivating examples.
+
+Every structure in this package is built over the same explicit
+:class:`~repro.lang.heap.Heap` the toy-language interpreter uses, with field
+names matching the ADDS declarations of :mod:`repro.adds.library`.  That
+choice is deliberate: the ADDS *runtime checker* can therefore validate each
+structure directly against its declaration — the dynamic counterpart of the
+figures in section 3 (a one-way list really is uniquely-forward along X, an
+orthogonal list really keeps its rows and columns acyclic, a "tournament"
+list really violates uniqueness, and so on).
+
+=================  =========================================================
+module              structure (paper reference)
+=================  =========================================================
+``linked_list``     one-way linked list (section 3.1.1)
+``two_way_list``    doubly linked list (section 2.2)
+``bignum``          arbitrary-precision integers as digit lists (3.1.1)
+``polynomial``      sparse polynomials as coefficient/exponent lists (3.1.1)
+``bintree``         binary search tree (sections 2.2, 3.3.1)
+``orthogonal_list`` sparse matrices as orthogonal lists (3.1.3, Figure 3)
+``range_tree``      2-D range tree (3.1.3, Figure 4)
+``quadtree``        point-region quadtree (section 1; 2-D octree analogue)
+=================  =========================================================
+"""
+
+from repro.structures.linked_list import OneWayList, build_tournament_list
+from repro.structures.two_way_list import TwoWayList
+from repro.structures.bignum import BigNum
+from repro.structures.polynomial import Polynomial
+from repro.structures.bintree import BinarySearchTree
+from repro.structures.orthogonal_list import OrthogonalListMatrix
+from repro.structures.range_tree import RangeTree2D
+from repro.structures.quadtree import PointRegionQuadTree
+
+__all__ = [
+    "OneWayList",
+    "build_tournament_list",
+    "TwoWayList",
+    "BigNum",
+    "Polynomial",
+    "BinarySearchTree",
+    "OrthogonalListMatrix",
+    "RangeTree2D",
+    "PointRegionQuadTree",
+]

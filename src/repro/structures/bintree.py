@@ -1,0 +1,116 @@
+"""Binary search trees (the paper's BinTree example, sections 2.2 and 3.3.1).
+
+Besides the usual insert/contains/traversal operations, the class exposes the
+two-statement *subtree move* of section 3.3.1 — the canonical temporary
+abstraction break::
+
+    p1->left = p2->left;     # the subtree is momentarily shared
+    p2->left = NULL;         # sharing removed, abstraction valid again
+
+``move_left_subtree`` performs the repaired sequence;
+``share_left_subtree`` stops after the first statement, leaving the heap in
+the violating state so tests can watch the runtime checker flag it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lang.heap import Heap, NULL_REF
+
+
+class BinarySearchTree:
+    """An integer BST over ``BinTree``-typed heap cells."""
+
+    TYPE_NAME = "BinTree"
+
+    def __init__(self, heap: Heap | None = None):
+        self.heap = heap if heap is not None else Heap()
+        self.root: int = NULL_REF
+
+    # -- construction ---------------------------------------------------------
+    def _new_node(self, data: int) -> int:
+        return self.heap.allocate(
+            self.TYPE_NAME, {"data": data, "left": NULL_REF, "right": NULL_REF}
+        )
+
+    def insert(self, data: int) -> int:
+        node = self._new_node(data)
+        if self.root == NULL_REF:
+            self.root = node
+            return node
+        cur = self.root
+        while True:
+            cur_data = self.heap.load(cur, "data")
+            side = "left" if data < cur_data else "right"
+            child = self.heap.load(cur, side)
+            if child == NULL_REF:
+                self.heap.store(cur, side, node)
+                return node
+            cur = child
+
+    @classmethod
+    def from_iterable(cls, values, heap: Heap | None = None) -> "BinarySearchTree":
+        tree = cls(heap)
+        for v in values:
+            tree.insert(v)
+        return tree
+
+    # -- queries ---------------------------------------------------------------------
+    def contains(self, data: int) -> bool:
+        cur = self.root
+        while cur != NULL_REF:
+            cur_data = self.heap.load(cur, "data")
+            if data == cur_data:
+                return True
+            cur = self.heap.load(cur, "left" if data < cur_data else "right")
+        return False
+
+    def in_order(self) -> list[int]:
+        result: list[int] = []
+
+        def visit(ref: int) -> None:
+            if ref == NULL_REF:
+                return
+            visit(self.heap.load(ref, "left"))
+            result.append(self.heap.load(ref, "data"))
+            visit(self.heap.load(ref, "right"))
+
+        visit(self.root)
+        return result
+
+    def height(self) -> int:
+        def depth(ref: int) -> int:
+            if ref == NULL_REF:
+                return 0
+            return 1 + max(depth(self.heap.load(ref, "left")),
+                           depth(self.heap.load(ref, "right")))
+
+        return depth(self.root)
+
+    def size(self) -> int:
+        return len(self.in_order())
+
+    def refs(self) -> Iterator[int]:
+        stack = [self.root] if self.root != NULL_REF else []
+        while stack:
+            ref = stack.pop()
+            yield ref
+            for side in ("left", "right"):
+                child = self.heap.load(ref, side)
+                if child != NULL_REF:
+                    stack.append(child)
+
+    # -- the section 3.3.1 example ----------------------------------------------------
+    def share_left_subtree(self, p1: int, p2: int) -> None:
+        """Execute only ``p1->left = p2->left`` — the abstraction-breaking half."""
+        self.heap.store(p1, "left", self.heap.load(p2, "left"))
+
+    def repair_shared_subtree(self, p2: int) -> None:
+        """Execute ``p2->left = NULL`` — the repairing half."""
+        self.heap.store(p2, "left", NULL_REF)
+
+    def move_left_subtree(self, p1: int, p2: int) -> None:
+        """The full (repaired) subtree move of section 3.3.1."""
+        self.share_left_subtree(p1, p2)
+        self.repair_shared_subtree(p2)

@@ -1,0 +1,141 @@
+"""One-way linked lists over the analyzable heap (paper section 3.1.1).
+
+:class:`OneWayList` allocates ``OneWayList``-typed cells (field ``data`` plus
+a uniquely-forward ``next``), exactly matching the ADDS declaration in
+:mod:`repro.adds.library`.  :func:`build_tournament_list` builds the sharing
+structure of Figure 1 from the same node type, which the runtime checker
+correctly rejects as a ``OneWayList`` — the point the figure makes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.lang.heap import Heap, NULL_REF
+
+
+class OneWayList:
+    """A singly linked list of integers stored in an explicit heap."""
+
+    TYPE_NAME = "OneWayList"
+
+    def __init__(self, heap: Heap | None = None):
+        self.heap = heap if heap is not None else Heap()
+        self.head: int = NULL_REF
+        self._length = 0
+
+    # -- construction ---------------------------------------------------------
+    def _new_node(self, data: int, next_ref: int = NULL_REF) -> int:
+        return self.heap.allocate(self.TYPE_NAME, {"data": data, "next": next_ref})
+
+    def push_front(self, data: int) -> int:
+        """Insert at the head; O(1)."""
+        self.head = self._new_node(data, self.head)
+        self._length += 1
+        return self.head
+
+    def append(self, data: int) -> int:
+        """Insert at the tail; O(n)."""
+        node = self._new_node(data)
+        if self.head == NULL_REF:
+            self.head = node
+        else:
+            cur = self.head
+            while self.heap.load(cur, "next") != NULL_REF:
+                cur = self.heap.load(cur, "next")
+            self.heap.store(cur, "next", node)
+        self._length += 1
+        return node
+
+    @classmethod
+    def from_iterable(cls, values: Iterable[int], heap: Heap | None = None) -> "OneWayList":
+        lst = cls(heap)
+        for v in values:
+            lst.append(v)
+        return lst
+
+    # -- traversal -----------------------------------------------------------------
+    def refs(self) -> Iterator[int]:
+        cur = self.head
+        seen: set[int] = set()
+        while cur != NULL_REF:
+            if cur in seen:
+                raise RuntimeError("list traversal revisited a node (cycle)")
+            seen.add(cur)
+            yield cur
+            cur = self.heap.load(cur, "next")
+
+    def __iter__(self) -> Iterator[int]:
+        for ref in self.refs():
+            yield self.heap.load(ref, "data")
+
+    def to_list(self) -> list[int]:
+        return list(self)
+
+    def __len__(self) -> int:
+        return self._length
+
+    # -- mutation -----------------------------------------------------------------
+    def map_in_place(self, func) -> None:
+        """Apply ``func`` to every ``data`` field (the paper's ``p->coef * c`` loop)."""
+        for ref in self.refs():
+            self.heap.store(ref, "data", func(self.heap.load(ref, "data")))
+
+    def insert_after(self, ref: int, data: int) -> int:
+        node = self._new_node(data, self.heap.load(ref, "next"))
+        self.heap.store(ref, "next", node)
+        self._length += 1
+        return node
+
+    def delete_after(self, ref: int) -> None:
+        victim = self.heap.load(ref, "next")
+        if victim == NULL_REF:
+            return
+        self.heap.store(ref, "next", self.heap.load(victim, "next"))
+        self._length -= 1
+
+    def reverse_in_place(self) -> None:
+        """Reverse the list by pointer surgery (keeps the shape a valid OneWayList)."""
+        prev = NULL_REF
+        cur = self.head
+        while cur != NULL_REF:
+            nxt = self.heap.load(cur, "next")
+            self.heap.store(cur, "next", prev)
+            prev = cur
+            cur = nxt
+        self.head = prev
+
+    def make_cycle(self) -> None:
+        """Deliberately close a cycle (for tests of the runtime checker)."""
+        if self.head == NULL_REF:
+            return
+        last = self.head
+        while self.heap.load(last, "next") != NULL_REF:
+            last = self.heap.load(last, "next")
+        self.heap.store(last, "next", self.head)
+
+
+def build_tournament_list(values: list[int], heap: Heap | None = None) -> tuple[Heap, int]:
+    """Build the "tournament" structure of Figure 1 from OneWayList nodes.
+
+    Several nodes point at the same successor, so ``next`` is forward but not
+    *uniquely* forward — a shape the OneWayList declaration excludes.
+    Returns (heap, ref of a designated entry node).
+    """
+    h = heap if heap is not None else Heap()
+    if not values:
+        return h, NULL_REF
+    # leaves of the "tournament": every pair of consecutive leaves points at a
+    # shared winner node, winners point at the next round's shared node, etc.
+    level = [h.allocate(OneWayList.TYPE_NAME, {"data": v, "next": NULL_REF}) for v in values]
+    while len(level) > 1:
+        nxt_level = []
+        for i in range(0, len(level), 2):
+            group = level[i:i + 2]
+            winner_val = max(h.load(r, "data") for r in group)
+            winner = h.allocate(OneWayList.TYPE_NAME, {"data": winner_val, "next": NULL_REF})
+            for r in group:
+                h.store(r, "next", winner)
+            nxt_level.append(winner)
+        level = nxt_level
+    return h, level[0]

@@ -1,0 +1,170 @@
+"""Sparse matrices as orthogonal lists (paper section 3.1.3, Figure 3).
+
+Each stored element is an ``OrthList`` node with four links: ``across`` /
+``back`` along the row dimension X and ``down`` / ``up`` along the column
+dimension Y.  Row and column header nodes (one per row/column, data = 0,
+stored at column/row index −1 conceptually) are what the paper's ``r4`` /
+``c3`` pointers denote.  The class provides enough of a sparse-matrix API —
+get/set, row/column iteration, sparse matrix–vector product, transpose-free
+column sums — to exercise every link direction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lang.heap import Heap, NULL_REF
+
+
+class OrthogonalListMatrix:
+    """A sparse ``rows`` × ``cols`` integer matrix over OrthList nodes."""
+
+    TYPE_NAME = "OrthList"
+
+    def __init__(self, rows: int, cols: int, heap: Heap | None = None):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        self.heap = heap if heap is not None else Heap()
+        self.rows = rows
+        self.cols = cols
+        #: per-row header refs (start of each row's ``across`` chain)
+        self.row_heads: list[int] = [self._new_node(0) for _ in range(rows)]
+        #: per-column header refs (start of each column's ``down`` chain)
+        self.col_heads: list[int] = [self._new_node(0) for _ in range(cols)]
+        #: (row, col) -> ref, kept for O(1) lookup in tests; the pointer
+        #: structure itself is authoritative
+        self._index: dict[tuple[int, int], int] = {}
+
+    def _new_node(self, data: int) -> int:
+        return self.heap.allocate(
+            self.TYPE_NAME,
+            {
+                "data": data,
+                "across": NULL_REF,
+                "back": NULL_REF,
+                "down": NULL_REF,
+                "up": NULL_REF,
+            },
+        )
+
+    # -- element access ---------------------------------------------------------
+    def set(self, row: int, col: int, value: int) -> None:
+        """Store ``value`` at (row, col); zero removes nothing (kept simple)."""
+        self._check(row, col)
+        existing = self._find(row, col)
+        if existing != NULL_REF:
+            self.heap.store(existing, "data", value)
+            return
+        node = self._new_node(value)
+        self._link_into_row(row, col, node)
+        self._link_into_col(row, col, node)
+        self._index[(row, col)] = node
+
+    def get(self, row: int, col: int) -> int:
+        self._check(row, col)
+        ref = self._find(row, col)
+        return self.heap.load(ref, "data") if ref != NULL_REF else 0
+
+    def _check(self, row: int, col: int) -> None:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"({row}, {col}) outside {self.rows}x{self.cols} matrix")
+
+    def _find(self, row: int, col: int) -> int:
+        return self._index.get((row, col), NULL_REF)
+
+    def _column_of(self, ref: int) -> int:
+        for (r, c), node in self._index.items():
+            if node == ref:
+                return c
+        return -1
+
+    def _row_of(self, ref: int) -> int:
+        for (r, c), node in self._index.items():
+            if node == ref:
+                return r
+        return -1
+
+    def _link_into_row(self, row: int, col: int, node: int) -> None:
+        prev = self.row_heads[row]
+        cur = self.heap.load(prev, "across")
+        while cur != NULL_REF and self._column_of(cur) < col:
+            prev = cur
+            cur = self.heap.load(cur, "across")
+        self.heap.store(node, "across", cur)
+        self.heap.store(node, "back", prev)
+        self.heap.store(prev, "across", node)
+        if cur != NULL_REF:
+            self.heap.store(cur, "back", node)
+
+    def _link_into_col(self, row: int, col: int, node: int) -> None:
+        prev = self.col_heads[col]
+        cur = self.heap.load(prev, "down")
+        while cur != NULL_REF and self._row_of(cur) < row:
+            prev = cur
+            cur = self.heap.load(cur, "down")
+        self.heap.store(node, "down", cur)
+        self.heap.store(node, "up", prev)
+        self.heap.store(prev, "down", node)
+        if cur != NULL_REF:
+            self.heap.store(cur, "up", node)
+
+    # -- traversals ---------------------------------------------------------------
+    def row_refs(self, row: int) -> Iterator[int]:
+        cur = self.heap.load(self.row_heads[row], "across")
+        while cur != NULL_REF:
+            yield cur
+            cur = self.heap.load(cur, "across")
+
+    def col_refs(self, col: int) -> Iterator[int]:
+        cur = self.heap.load(self.col_heads[col], "down")
+        while cur != NULL_REF:
+            yield cur
+            cur = self.heap.load(cur, "down")
+
+    def row_values(self, row: int) -> list[int]:
+        return [self.heap.load(r, "data") for r in self.row_refs(row)]
+
+    def col_values(self, col: int) -> list[int]:
+        return [self.heap.load(r, "data") for r in self.col_refs(col)]
+
+    def nonzero_count(self) -> int:
+        return len(self._index)
+
+    def to_dense(self) -> list[list[int]]:
+        dense = [[0] * self.cols for _ in range(self.rows)]
+        for (r, c), ref in self._index.items():
+            dense[r][c] = self.heap.load(ref, "data")
+        return dense
+
+    # -- numeric operations ------------------------------------------------------------
+    def matvec(self, vector: list[int]) -> list[int]:
+        """Sparse matrix–vector product using row traversals (each row is disjoint)."""
+        if len(vector) != self.cols:
+            raise ValueError("vector length does not match column count")
+        result = [0] * self.rows
+        for row in range(self.rows):
+            total = 0
+            for ref in self.row_refs(row):
+                col = self._column_of(ref)
+                total += self.heap.load(ref, "data") * vector[col]
+            result[row] = total
+        return result
+
+    def column_sums(self) -> list[int]:
+        """Per-column sums using the Y-dimension traversals."""
+        return [sum(self.col_values(c)) for c in range(self.cols)]
+
+    def scale_row_in_place(self, row: int, factor: int) -> None:
+        for ref in self.row_refs(row):
+            self.heap.store(ref, "data", self.heap.load(ref, "data") * factor)
+
+    @classmethod
+    def from_dense(cls, dense: list[list[int]], heap: Heap | None = None) -> "OrthogonalListMatrix":
+        rows = len(dense)
+        cols = len(dense[0]) if rows else 0
+        matrix = cls(rows, cols, heap)
+        for r in range(rows):
+            for c in range(cols):
+                if dense[r][c] != 0:
+                    matrix.set(r, c, dense[r][c])
+        return matrix

@@ -1,0 +1,125 @@
+"""Sparse polynomials as coefficient/exponent lists (paper section 3.1.1).
+
+"The polynomial 451x^31 + 10x^13 + 4 could be stored in a linked-list such
+that each node contains the coefficient and exponent for x."  Nodes are
+``ListNode``-typed heap cells (``coef``, ``exp``, ``next``), kept sorted by
+decreasing exponent.  The operations — evaluation, scaling (the worked alias
+-analysis example of section 3.3.2), addition and multiplication — all
+traverse the pointer representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.lang.heap import Heap, NULL_REF
+
+
+class Polynomial:
+    """A sparse integer polynomial stored as a linked list of terms."""
+
+    TYPE_NAME = "ListNode"
+
+    def __init__(self, heap: Heap | None = None):
+        self.heap = heap if heap is not None else Heap()
+        self.head: int = NULL_REF
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_terms(
+        cls, terms: Iterable[tuple[int, int]], heap: Heap | None = None
+    ) -> "Polynomial":
+        """Build from (coefficient, exponent) pairs; zero coefficients are dropped."""
+        poly = cls(heap)
+        cleaned: dict[int, int] = {}
+        for coef, exp in terms:
+            if exp < 0:
+                raise ValueError("exponents must be non-negative")
+            cleaned[exp] = cleaned.get(exp, 0) + coef
+        for exp in sorted(cleaned, reverse=True):
+            coef = cleaned[exp]
+            if coef != 0:
+                poly._append_term(coef, exp)
+        return poly
+
+    def _append_term(self, coef: int, exp: int) -> int:
+        node = self.heap.allocate(
+            self.TYPE_NAME, {"coef": coef, "exp": exp, "next": NULL_REF}
+        )
+        if self.head == NULL_REF:
+            self.head = node
+            return node
+        cur = self.head
+        while self.heap.load(cur, "next") != NULL_REF:
+            cur = self.heap.load(cur, "next")
+        self.heap.store(cur, "next", node)
+        return node
+
+    # -- traversal ------------------------------------------------------------------
+    def refs(self) -> Iterator[int]:
+        cur = self.head
+        while cur != NULL_REF:
+            yield cur
+            cur = self.heap.load(cur, "next")
+
+    def terms(self) -> list[tuple[int, int]]:
+        return [
+            (self.heap.load(r, "coef"), self.heap.load(r, "exp")) for r in self.refs()
+        ]
+
+    def degree(self) -> int:
+        terms = self.terms()
+        return terms[0][1] if terms else 0
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.refs())
+
+    # -- operations ---------------------------------------------------------------------
+    def evaluate(self, x: int) -> int:
+        return sum(coef * (x ** exp) for coef, exp in self.terms())
+
+    def scale_in_place(self, c: int) -> None:
+        """Multiply every coefficient by ``c`` — the loop of section 3.3.2.
+
+        This is exactly the traversal whose parallelization the worked
+        path-matrix example justifies: each node is visited once and only its
+        own ``coef`` field is written.
+        """
+        for ref in self.refs():
+            self.heap.store(ref, "coef", self.heap.load(ref, "coef") * c)
+
+    def add(self, other: "Polynomial") -> "Polynomial":
+        merged: dict[int, int] = {}
+        for coef, exp in self.terms() + other.terms():
+            merged[exp] = merged.get(exp, 0) + coef
+        return Polynomial.from_terms(
+            [(c, e) for e, c in merged.items()], heap=self.heap
+        )
+
+    def multiply(self, other: "Polynomial") -> "Polynomial":
+        product: dict[int, int] = {}
+        for c1, e1 in self.terms():
+            for c2, e2 in other.terms():
+                product[e1 + e2] = product.get(e1 + e2, 0) + c1 * c2
+        return Polynomial.from_terms(
+            [(c, e) for e, c in product.items()], heap=self.heap
+        )
+
+    def derivative(self) -> "Polynomial":
+        return Polynomial.from_terms(
+            [(coef * exp, exp - 1) for coef, exp in self.terms() if exp > 0],
+            heap=self.heap,
+        )
+
+    def to_dict(self) -> dict[int, int]:
+        return {exp: coef for coef, exp in self.terms()}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Polynomial) and self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.to_dict().items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{c}x^{e}" for c, e in self.terms()]
+        return "Polynomial(" + (" + ".join(parts) if parts else "0") + ")"

@@ -1,0 +1,167 @@
+"""2-D range trees (paper section 3.1.3, Figure 4).
+
+"A two-dimensional range tree is a binary tree of binary trees, where the
+leaves of each tree are linked together into a two-way linked list."  The
+primary tree is ordered by x; every node of it owns a secondary tree (the
+``subtree`` link — the independent ``sub`` dimension) ordered by y over the
+points of its x-range; leaves of each tree are threaded with ``next``/``prev``
+(the ``leaves`` dimension).  Queries: all points with x in [x1, x2], and all
+points inside the rectangle [x1, x2] × [y1, y2].
+
+The structure is static (built once from a point set), which matches how
+range trees are used and keeps the pointer construction faithful to the ADDS
+declaration: ``left``/``right`` uniquely forward along ``down``, ``subtree``
+uniquely forward along the independent ``sub`` dimension, ``next`` uniquely
+forward / ``prev`` backward along ``leaves``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.lang.heap import Heap, NULL_REF
+
+
+class RangeTree2D:
+    """A static 2-D range tree over integer points, stored in an explicit heap."""
+
+    TYPE_NAME = "TwoDRangeTree"
+
+    def __init__(self, points: Iterable[tuple[int, int]], heap: Heap | None = None):
+        self.heap = heap if heap is not None else Heap()
+        self.points = sorted(set(points))
+        #: node ref -> (x, y) payload of leaf nodes, or the splitting x of
+        #: interior nodes; data stores x (the key the primary tree splits on)
+        self._point_of: dict[int, tuple[int, int]] = {}
+        self.root: int = self._build_primary(self.points)
+
+    # -- construction ----------------------------------------------------------
+    def _new_node(self, data: int) -> int:
+        return self.heap.allocate(
+            self.TYPE_NAME,
+            {
+                "data": data,
+                "left": NULL_REF,
+                "right": NULL_REF,
+                "subtree": NULL_REF,
+                "next": NULL_REF,
+                "prev": NULL_REF,
+            },
+        )
+
+    def _link_leaves(self, leaves: Sequence[int]) -> None:
+        for a, b in zip(leaves, leaves[1:]):
+            self.heap.store(a, "next", b)
+            self.heap.store(b, "prev", a)
+
+    def _build_primary(self, points: Sequence[tuple[int, int]]) -> int:
+        if not points:
+            return NULL_REF
+        root, leaves = self._build_tree(points, key_index=0, build_secondary=True)
+        self._link_leaves(leaves)
+        return root
+
+    def _build_secondary(self, points: Sequence[tuple[int, int]]) -> int:
+        by_y = sorted(points, key=lambda p: (p[1], p[0]))
+        root, leaves = self._build_tree(by_y, key_index=1, build_secondary=False)
+        self._link_leaves(leaves)
+        return root
+
+    def _build_tree(
+        self, points: Sequence[tuple[int, int]], key_index: int, build_secondary: bool
+    ) -> tuple[int, list[int]]:
+        """Build a balanced binary tree whose leaves are ``points`` in order."""
+        if len(points) == 1:
+            point = points[0]
+            leaf = self._new_node(point[key_index])
+            self._point_of[leaf] = point
+            if build_secondary:
+                self.heap.store(leaf, "subtree", self._build_secondary(points))
+            return leaf, [leaf]
+        mid = (len(points) + 1) // 2
+        left_root, left_leaves = self._build_tree(points[:mid], key_index, build_secondary)
+        right_root, right_leaves = self._build_tree(points[mid:], key_index, build_secondary)
+        split_key = points[mid - 1][key_index]
+        node = self._new_node(split_key)
+        self.heap.store(node, "left", left_root)
+        self.heap.store(node, "right", right_root)
+        if build_secondary:
+            self.heap.store(node, "subtree", self._build_secondary(points))
+        return node, left_leaves + right_leaves
+
+    # -- queries ---------------------------------------------------------------------
+    def _leaves_under(self, ref: int) -> list[int]:
+        if ref == NULL_REF:
+            return []
+        left = self.heap.load(ref, "left")
+        right = self.heap.load(ref, "right")
+        if left == NULL_REF and right == NULL_REF:
+            return [ref]
+        return self._leaves_under(left) + self._leaves_under(right)
+
+    def query_x(self, x1: int, x2: int) -> list[tuple[int, int]]:
+        """All points with x in [x1, x2], via the primary tree."""
+        result = [
+            self._point_of[leaf]
+            for leaf in self._leaves_under(self.root)
+            if x1 <= self._point_of[leaf][0] <= x2
+        ]
+        return sorted(result)
+
+    def query_rect(self, x1: int, x2: int, y1: int, y2: int) -> list[tuple[int, int]]:
+        """All points inside the rectangle [x1,x2] × [y1,y2].
+
+        The classic algorithm: walk the primary tree for the x-range,
+        identify O(log n) canonical subtrees, and answer the y-range over
+        each canonical node's *secondary* tree (the ``subtree`` link).
+        """
+        result: set[tuple[int, int]] = set()
+
+        def walk(ref: int, lo: int, hi: int) -> None:
+            if ref == NULL_REF:
+                return
+            leaves = self._leaves_under(ref)
+            xs = [self._point_of[l][0] for l in leaves]
+            if not xs or xs[-1] < x1 or xs[0] > x2:
+                return
+            if x1 <= xs[0] and xs[-1] <= x2:
+                # canonical subtree: answer the y query in its secondary tree
+                secondary = self.heap.load(ref, "subtree")
+                result.update(self._query_secondary_y(secondary, y1, y2))
+                return
+            walk(self.heap.load(ref, "left"), lo, hi)
+            walk(self.heap.load(ref, "right"), lo, hi)
+
+        walk(self.root, x1, x2)
+        return sorted(result)
+
+    def _query_secondary_y(self, ref: int, y1: int, y2: int) -> list[tuple[int, int]]:
+        return [
+            self._point_of[leaf]
+            for leaf in self._leaves_under(ref)
+            if y1 <= self._point_of[leaf][1] <= y2
+        ]
+
+    # -- leaf-list traversals (the ``leaves`` dimension) -------------------------------
+    def primary_leaf_points(self) -> list[tuple[int, int]]:
+        """Walk the primary tree's leaf list via ``next`` links."""
+        leaves = self._leaves_under(self.root)
+        if not leaves:
+            return []
+        # find the list head: the leaf with no prev among primary leaves
+        primary = set(leaves)
+        head = next(
+            (l for l in leaves if self.heap.load(l, "prev") not in primary), leaves[0]
+        )
+        out = []
+        cur = head
+        while cur != NULL_REF and cur in primary:
+            out.append(self._point_of[cur])
+            cur = self.heap.load(cur, "next")
+        return out
+
+    def size(self) -> int:
+        return len(self.points)
+
+    def node_count(self) -> int:
+        return len(self.heap.cells_of_type(self.TYPE_NAME))

@@ -1,0 +1,121 @@
+"""Doubly linked lists (the paper's TwoWayList example, section 2.2)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.lang.heap import Heap, NULL_REF
+
+
+class TwoWayList:
+    """A doubly linked list whose nodes match the ``TwoWayList`` ADDS declaration.
+
+    ``next`` is uniquely forward along the single dimension ``X`` and ``prev``
+    is backward; the forward and backward traversals form benign 2-cycles
+    (the "needless cycles" the paper notes ADDS frees the analysis from
+    estimating).
+    """
+
+    TYPE_NAME = "TwoWayList"
+
+    def __init__(self, heap: Heap | None = None):
+        self.heap = heap if heap is not None else Heap()
+        self.head: int = NULL_REF
+        self.tail: int = NULL_REF
+        self._length = 0
+
+    # -- construction ----------------------------------------------------------
+    def _new_node(self, data: int) -> int:
+        return self.heap.allocate(
+            self.TYPE_NAME, {"data": data, "next": NULL_REF, "prev": NULL_REF}
+        )
+
+    def append(self, data: int) -> int:
+        node = self._new_node(data)
+        if self.tail == NULL_REF:
+            self.head = self.tail = node
+        else:
+            self.heap.store(self.tail, "next", node)
+            self.heap.store(node, "prev", self.tail)
+            self.tail = node
+        self._length += 1
+        return node
+
+    def push_front(self, data: int) -> int:
+        node = self._new_node(data)
+        if self.head == NULL_REF:
+            self.head = self.tail = node
+        else:
+            self.heap.store(node, "next", self.head)
+            self.heap.store(self.head, "prev", node)
+            self.head = node
+        self._length += 1
+        return node
+
+    @classmethod
+    def from_iterable(cls, values: Iterable[int], heap: Heap | None = None) -> "TwoWayList":
+        lst = cls(heap)
+        for v in values:
+            lst.append(v)
+        return lst
+
+    # -- traversal ----------------------------------------------------------------
+    def forward_refs(self) -> Iterator[int]:
+        cur = self.head
+        while cur != NULL_REF:
+            yield cur
+            cur = self.heap.load(cur, "next")
+
+    def backward_refs(self) -> Iterator[int]:
+        cur = self.tail
+        while cur != NULL_REF:
+            yield cur
+            cur = self.heap.load(cur, "prev")
+
+    def forward(self) -> list[int]:
+        return [self.heap.load(r, "data") for r in self.forward_refs()]
+
+    def backward(self) -> list[int]:
+        return [self.heap.load(r, "data") for r in self.backward_refs()]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.forward())
+
+    def __len__(self) -> int:
+        return self._length
+
+    # -- mutation -------------------------------------------------------------------
+    def remove(self, ref: int) -> None:
+        """Unlink ``ref`` while keeping next/prev consistent."""
+        prev = self.heap.load(ref, "prev")
+        nxt = self.heap.load(ref, "next")
+        if prev != NULL_REF:
+            self.heap.store(prev, "next", nxt)
+        else:
+            self.head = nxt
+        if nxt != NULL_REF:
+            self.heap.store(nxt, "prev", prev)
+        else:
+            self.tail = prev
+        self.heap.store(ref, "next", NULL_REF)
+        self.heap.store(ref, "prev", NULL_REF)
+        self._length -= 1
+
+    def insert_after(self, ref: int, data: int) -> int:
+        node = self._new_node(data)
+        nxt = self.heap.load(ref, "next")
+        self.heap.store(node, "prev", ref)
+        self.heap.store(node, "next", nxt)
+        self.heap.store(ref, "next", node)
+        if nxt != NULL_REF:
+            self.heap.store(nxt, "prev", node)
+        else:
+            self.tail = node
+        self._length += 1
+        return node
+
+    def corrupt_prev(self) -> None:
+        """Point some ``prev`` at the wrong node (for runtime-checker tests)."""
+        refs = list(self.forward_refs())
+        if len(refs) >= 3:
+            self.heap.store(refs[2], "prev", refs[0])

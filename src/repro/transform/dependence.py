@@ -1,0 +1,126 @@
+"""Loop dependence testing for pointer traversal loops.
+
+``classify_loop`` wraps :func:`repro.pathmatrix.analysis.analyze_loop_dependence`
+and turns its report into a transformation decision:
+
+* ``DOALL_AFTER_TRAVERSAL`` — every iteration is independent except for the
+  pointer-chasing update itself (``p = p->next``); the loop can be
+  strip-mined / unrolled / pipelined (this is BHL1 and BHL2),
+* ``SEQUENTIAL`` — a genuine loop-carried dependence (or an invalid
+  abstraction) prevents parallel execution,
+* ``NO_TRAVERSAL`` — the loop is not a pointer traversal at all (out of
+  scope for these transformations).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.lang.ast_nodes import Program, While, iter_statements
+from repro.pathmatrix.analysis import LoopDependenceReport, analyze_loop_dependence
+
+
+class LoopClassification(enum.Enum):
+    """How a loop may legally be executed."""
+
+    DOALL_AFTER_TRAVERSAL = "doall-after-traversal"
+    SEQUENTIAL = "sequential"
+    NO_TRAVERSAL = "no-traversal"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class DependenceTest:
+    """The outcome of dependence testing one loop."""
+
+    classification: LoopClassification
+    report: LoopDependenceReport | None = None
+    traversal_var: str | None = None
+    traversal_field: str | None = None
+    reasons: list[str] = field(default_factory=list)
+
+    @property
+    def parallelizable(self) -> bool:
+        return self.classification is LoopClassification.DOALL_AFTER_TRAVERSAL
+
+    def describe(self) -> str:
+        lines = [f"classification: {self.classification}"]
+        if self.traversal_var is not None:
+            lines.append(f"traversal: {self.traversal_var} = "
+                         f"{self.traversal_var}->{self.traversal_field}")
+        for reason in self.reasons:
+            lines.append(f"  - {reason}")
+        return "\n".join(lines)
+
+
+def find_while_loops(program: Program, function_name: str) -> list[While]:
+    """All ``while`` loops of a function, outermost first."""
+    func = program.function_named(function_name)
+    if func is None:
+        raise KeyError(f"no function named {function_name!r}")
+    return [s for s in iter_statements(func.body) if isinstance(s, While)]
+
+
+def classify_loop(
+    program: Program,
+    function_name: str,
+    loop: While | None = None,
+    use_adds: bool = True,
+) -> DependenceTest:
+    """Dependence-test one traversal loop of ``function_name``.
+
+    With ``use_adds=False`` the same machinery runs but every ADDS
+    declaration is ignored — reproducing what a conventional parallelizing
+    compiler concludes ("the compiler must assume that p and p->next are
+    potential aliases", section 4.2).
+    """
+    if loop is None:
+        loops = find_while_loops(program, function_name)
+        if not loops:
+            return DependenceTest(
+                classification=LoopClassification.NO_TRAVERSAL,
+                reasons=["function contains no while loop"],
+            )
+        loop = loops[0]
+
+    report = analyze_loop_dependence(program, function_name, loop, use_adds=use_adds)
+
+    if not report.induction_vars:
+        return DependenceTest(
+            classification=LoopClassification.NO_TRAVERSAL,
+            report=report,
+            reasons=["loop body contains no pointer traversal update p = p->f"],
+        )
+
+    # pick the traversal variable: prefer one proven independent
+    traversal_var = next(iter(report.induction_vars))
+    for var in report.induction_vars:
+        if var in report.independent_vars:
+            traversal_var = var
+            break
+    traversal_field = report.induction_vars[traversal_var]
+
+    if report.parallelizable:
+        return DependenceTest(
+            classification=LoopClassification.DOALL_AFTER_TRAVERSAL,
+            report=report,
+            traversal_var=traversal_var,
+            traversal_field=traversal_field,
+            reasons=[
+                f"{traversal_var} = {traversal_var}->{traversal_field} always moves to a "
+                "different node (ADDS: acyclic traversal)",
+                "no two iterations write the same node",
+                "ADDS abstraction valid at loop entry",
+            ],
+        )
+    return DependenceTest(
+        classification=LoopClassification.SEQUENTIAL,
+        report=report,
+        traversal_var=traversal_var,
+        traversal_field=traversal_field,
+        reasons=list(report.carried_dependences)
+        or ["analysis could not prove iteration independence"],
+    )

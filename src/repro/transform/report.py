@@ -1,0 +1,61 @@
+"""Human-readable reports about analysis-driven transformations.
+
+:class:`TransformationReport` bundles the before/after program text, the
+dependence evidence and the notes of a transformation into something a user
+(or an example script) can print.  Used by ``examples/`` and by the
+benchmark harness when ``--verbose`` output is requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast_nodes import Program
+from repro.lang.pretty import unparse
+from repro.transform.dependence import DependenceTest
+
+
+@dataclass
+class TransformationReport:
+    """Everything worth showing about one applied transformation."""
+
+    name: str
+    function_name: str
+    original: Program
+    transformed: Program
+    dependence: DependenceTest | None = None
+    notes: list[str] = field(default_factory=list)
+
+    def original_source(self) -> str:
+        func = self.original.function_named(self.function_name)
+        return unparse(func) if func is not None else unparse(self.original)
+
+    def transformed_source(self) -> str:
+        func = self.transformed.function_named(self.function_name)
+        text = unparse(func) if func is not None else unparse(self.transformed)
+        # include any helper procedures the transformation introduced
+        original_names = {f.name for f in self.original.functions}
+        for f in self.transformed.functions:
+            if f.name not in original_names:
+                text += "\n\n" + unparse(f)
+        return text
+
+    def render(self, show_dependence: bool = True) -> str:
+        lines = [f"=== {self.name} applied to {self.function_name} ===", ""]
+        if show_dependence and self.dependence is not None:
+            lines.append("-- dependence evidence --")
+            lines.append(self.dependence.describe())
+            lines.append("")
+        lines.append("-- original --")
+        lines.append(self.original_source())
+        lines.append("")
+        lines.append("-- transformed --")
+        lines.append(self.transformed_source())
+        if self.notes:
+            lines.append("")
+            lines.append("-- notes --")
+            lines.extend(f"* {n}" for n in self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,114 @@
+"""Loop unrolling for pointer traversal loops (cited from [HG92]).
+
+Unrolling a traversal loop by a factor ``k`` replicates the body ``k`` times,
+renaming nothing but letting the traversal update carry the pointer forward
+between copies::
+
+    while p <> NULL              while p <> NULL
+    { work(p);                   { work(p);
+      p = p->next;        =>       p = p->next;
+    }                              if p <> NULL { work(p); p = p->next; }
+                                   ... (k-1 guarded copies)
+                                 }
+
+The guards on the 2nd..k-th copies are required because the list length need
+not be a multiple of ``k``.  When the structure is speculatively traversable
+*and* the work is known to be harmless on a NULL node the guards could be
+dropped; we keep them for a semantics-preserving transformation.
+
+The transformation is legal for any loop (it does not reorder work between
+iterations), but it is *useful* — exposes instruction-level parallelism —
+exactly when the dependence test shows the per-node work of consecutive
+iterations to be independent, which is the property ADDS establishes.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    FieldAccess,
+    If,
+    Name,
+    NullLit,
+    Program,
+    While,
+    iter_statements,
+)
+from repro.transform.dependence import DependenceTest, classify_loop, find_while_loops
+from repro.transform.stripmine import TransformError, _find_traversal_update
+
+
+@dataclass
+class UnrollResult:
+    """Outcome of unrolling one traversal loop."""
+
+    program: Program
+    function_name: str
+    factor: int
+    traversal_var: str
+    traversal_field: str
+    dependence: DependenceTest | None = None
+    notes: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"unrolled loop in {self.function_name} by factor {self.factor} "
+            f"(traversal {self.traversal_var}->{self.traversal_field})"
+        )
+
+
+def unroll_loop(
+    program: Program,
+    function_name: str,
+    factor: int = 4,
+    loop_index: int = 0,
+    check_dependences: bool = False,
+) -> UnrollResult:
+    """Unroll the ``loop_index``-th while loop of ``function_name`` ``factor`` times."""
+    if factor < 2:
+        raise TransformError("unroll factor must be at least 2")
+    loops = find_while_loops(program, function_name)
+    if loop_index >= len(loops):
+        raise TransformError(f"loop index {loop_index} out of range")
+
+    dependence: DependenceTest | None = None
+    if check_dependences:
+        dependence = classify_loop(program, function_name, loops[loop_index])
+
+    new_program = copy.deepcopy(program)
+    func = new_program.function_named(function_name)
+    assert func is not None
+    loop = [s for s in iter_statements(func.body) if isinstance(s, While)][loop_index]
+
+    found = _find_traversal_update(loop.body)
+    if found is None:
+        raise TransformError("loop body has no traversal update p = p->f")
+    _idx, traversal_var, traversal_field = found
+
+    original_body = list(loop.body.statements)
+    new_statements = list(copy.deepcopy(original_body))
+    for _ in range(factor - 1):
+        guarded = If(
+            cond=BinOp(op="<>", left=Name(traversal_var), right=NullLit()),
+            then_body=Block(statements=copy.deepcopy(original_body)),
+        )
+        new_statements.append(guarded)
+    loop.body = Block(statements=new_statements, line=loop.body.line)
+
+    return UnrollResult(
+        program=new_program,
+        function_name=function_name,
+        factor=factor,
+        traversal_var=traversal_var,
+        traversal_field=traversal_field,
+        dependence=dependence,
+        notes=[
+            "copies 2..k are guarded by p <> NULL because the list length "
+            "need not be a multiple of the unroll factor"
+        ],
+    )

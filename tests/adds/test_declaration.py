@@ -1,0 +1,160 @@
+"""Tests for the ADDS semantic model and the standard declaration library."""
+
+import pytest
+
+from repro.adds.declaration import (
+    AddsDeclarationError,
+    Direction,
+    from_type_decl,
+    program_adds_types,
+)
+from repro.adds.library import (
+    declaration,
+    standard_declarations,
+    standard_program,
+    standard_source,
+)
+from repro.adds.properties import derive_properties
+from repro.adds.wellformed import check_well_formed, has_errors
+from repro.lang.parser import parse_program
+
+
+class TestFromTypeDecl:
+    def test_one_way_list_model(self):
+        adds = declaration("OneWayList")
+        assert list(adds.dimensions) == ["X"]
+        spec = adds.field_spec("next")
+        assert spec.direction is Direction.FORWARD
+        assert spec.unique
+        assert adds.is_acyclic_field("next")
+        assert adds.data_fields == ["data"]
+
+    def test_default_dimension_for_plain_types(self):
+        adds = declaration("PlainListNode")
+        assert list(adds.dimensions) == ["D"]
+        assert adds.field_spec("next").direction is Direction.UNKNOWN
+        assert not adds.has_adds_info()
+
+    def test_octree_dimensions_and_fanout(self):
+        adds = declaration("Octree")
+        assert set(adds.dimensions) == {"down", "leaves"}
+        assert adds.field_spec("subtrees").fanout == 8
+        assert adds.field_spec("next").dimension == "leaves"
+        assert adds.dependent("down", "leaves")  # dependent by default
+
+    def test_range_tree_independences(self):
+        adds = declaration("TwoDRangeTree")
+        assert adds.independent("sub", "down")
+        assert adds.independent("down", "sub")  # symmetric
+        assert adds.independent("sub", "leaves")
+        assert not adds.independent("down", "leaves")
+        assert not adds.independent("down", "down")
+
+    def test_two_way_list_opposite_directions(self):
+        adds = declaration("TwoWayList")
+        assert adds.opposite_directions("next", "prev")
+        assert not adds.opposite_directions("next", "next")
+
+    def test_unknown_dimension_in_field_raises(self):
+        decl = parse_program("type T [X] { T *n is forward along Y; };").types[0]
+        with pytest.raises(AddsDeclarationError):
+            from_type_decl(decl)
+
+    def test_unknown_dimension_in_independence_raises(self):
+        decl = parse_program("type T [X] where X||Z { T *n is forward along X; };").types[0]
+        with pytest.raises(AddsDeclarationError):
+            from_type_decl(decl)
+
+    def test_program_adds_types_covers_all_declarations(self):
+        program = standard_program("OneWayList", "BinTree", "Octree")
+        types = program_adds_types(program)
+        assert set(types) == {"OneWayList", "BinTree", "Octree"}
+
+    def test_external_pointer_fields_are_separated(self):
+        program = parse_program(
+            "type Other { int v; }; type T [X] { Other *payload; T *next is forward along X; };"
+        )
+        adds = from_type_decl(program.types[1])
+        assert adds.external_pointer_fields == ["payload"]
+        assert list(adds.fields) == ["next"]
+
+
+class TestStandardLibrary:
+    def test_every_standard_declaration_is_well_formed(self):
+        for name, adds in standard_declarations().items():
+            issues = check_well_formed(adds)
+            assert not has_errors(issues), f"{name}: {issues}"
+
+    def test_sources_round_trip_through_parser(self):
+        for name in ("OneWayList", "OrthList", "TwoDRangeTree", "Octree"):
+            assert parse_program(standard_source(name)).types[0].name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            standard_source("NoSuchStructure")
+
+    def test_tournament_list_is_not_unique(self):
+        adds = declaration("TournamentList")
+        assert adds.field_spec("next").direction is Direction.FORWARD
+        assert not adds.field_spec("next").unique
+
+    def test_describe_mentions_every_field(self):
+        text = declaration("OrthList").describe()
+        for field in ("across", "back", "down", "up"):
+            assert field in text
+
+
+class TestDerivedProperties:
+    def test_one_way_list_traversal_properties(self):
+        props = derive_properties(declaration("OneWayList"))
+        assert props.traversal_never_revisits("next")
+        assert props.unique_inbound("next")
+        assert props.subtrees_disjoint("next")
+        assert not props.may_form_cycle("next")
+
+    def test_plain_list_is_conservative(self):
+        props = derive_properties(declaration("PlainListNode"))
+        assert not props.traversal_never_revisits("next")
+        assert props.may_form_cycle("next")
+
+    def test_bintree_siblings_disjoint(self):
+        props = derive_properties(declaration("BinTree"))
+        assert props.siblings_disjoint("left", "right")
+
+    def test_octree_array_field_self_disjoint(self):
+        props = derive_properties(declaration("Octree"))
+        assert props.siblings_disjoint("subtrees", "subtrees")
+
+    def test_needless_cycle_pairs_for_two_way_list(self):
+        props = derive_properties(declaration("TwoWayList"))
+        assert ("next", "prev") in props.needless_cycle_pairs() or (
+            "prev", "next"
+        ) in props.needless_cycle_pairs()
+
+    def test_range_tree_field_independence(self):
+        props = derive_properties(declaration("TwoDRangeTree"))
+        assert props.fields_independent("subtree", "left")
+        assert props.fields_independent("subtree", "next")
+        assert not props.fields_independent("left", "next")  # dependent dims
+        assert not props.fields_independent("left", "right")  # same dim
+
+    def test_summary_is_printable(self):
+        text = derive_properties(declaration("Octree")).summary()
+        assert "acyclic" in text
+
+
+class TestWellFormedness:
+    def test_uniquely_backward_is_an_error(self):
+        decl = parse_program("type T [X] { T *p is uniquely backward along X; };").types[0]
+        issues = check_well_formed(from_type_decl(decl))
+        assert has_errors(issues)
+
+    def test_uninhabited_dimension_is_a_warning(self):
+        decl = parse_program("type T [X] [Y] { T *n is forward along X; };").types[0]
+        issues = check_well_formed(from_type_decl(decl))
+        assert issues and not has_errors(issues)
+
+    def test_backward_only_dimension_is_flagged(self):
+        decl = parse_program("type T [X] { T *p is backward along X; };").types[0]
+        issues = check_well_formed(from_type_decl(decl))
+        assert any("backward" in i.message for i in issues)

@@ -1,0 +1,143 @@
+"""Tests for the runtime shape checker (dynamic abstraction validation)."""
+
+import pytest
+
+from repro.adds import check_heap_against_declaration, declaration
+from repro.adds.runtime_check import RuntimeShapeChecker
+from repro.lang.heap import Heap, NULL_REF
+from repro.lang.interpreter import run_program
+from repro.structures import (
+    BinarySearchTree,
+    OneWayList,
+    OrthogonalListMatrix,
+    PointRegionQuadTree,
+    RangeTree2D,
+    TwoWayList,
+    build_tournament_list,
+)
+
+
+class TestOneWayList:
+    def test_valid_list_passes(self):
+        lst = OneWayList.from_iterable(range(10))
+        assert check_heap_against_declaration(lst.heap, declaration("OneWayList")) == []
+
+    def test_cycle_is_detected(self):
+        lst = OneWayList.from_iterable(range(5))
+        lst.make_cycle()
+        violations = check_heap_against_declaration(lst.heap, declaration("OneWayList"))
+        assert any(v.kind == "cycle" for v in violations)
+
+    def test_tournament_sharing_violates_uniqueness(self):
+        heap, _ = build_tournament_list([3, 1, 4, 1, 5, 9, 2, 6])
+        violations = check_heap_against_declaration(heap, declaration("OneWayList"))
+        assert any(v.kind == "uniqueness" for v in violations)
+        # ...but the same heap satisfies the weaker TournamentList declaration
+        assert check_heap_against_declaration(heap, declaration("TournamentList")) == []
+
+    def test_reversed_list_still_valid(self):
+        lst = OneWayList.from_iterable(range(6))
+        lst.reverse_in_place()
+        assert lst.to_list() == list(reversed(range(6)))
+        assert check_heap_against_declaration(lst.heap, declaration("OneWayList")) == []
+
+
+class TestTwoWayList:
+    def test_valid_two_way_list_passes(self):
+        lst = TwoWayList.from_iterable(range(8))
+        assert check_heap_against_declaration(lst.heap, declaration("TwoWayList")) == []
+
+    def test_inconsistent_prev_is_a_direction_violation(self):
+        lst = TwoWayList.from_iterable(range(5))
+        lst.corrupt_prev()
+        violations = check_heap_against_declaration(lst.heap, declaration("TwoWayList"))
+        assert any(v.kind == "direction" for v in violations)
+
+    def test_removal_keeps_structure_valid(self):
+        lst = TwoWayList.from_iterable(range(5))
+        refs = list(lst.forward_refs())
+        lst.remove(refs[2])
+        assert lst.forward() == [0, 1, 3, 4]
+        assert lst.backward() == [4, 3, 1, 0]
+        assert check_heap_against_declaration(lst.heap, declaration("TwoWayList")) == []
+
+
+class TestBinTree:
+    def test_bst_passes(self):
+        tree = BinarySearchTree.from_iterable([8, 3, 10, 1, 6, 14, 4, 7, 13])
+        assert check_heap_against_declaration(tree.heap, declaration("BinTree")) == []
+
+    def test_shared_subtree_violates_uniqueness(self):
+        tree = BinarySearchTree.from_iterable([8, 3, 10, 1, 6])
+        # root's left child (3) has a left subtree (1); share it under node 10
+        node3 = [r for r in tree.refs() if tree.heap.load(r, "data") == 3][0]
+        node10 = [r for r in tree.refs() if tree.heap.load(r, "data") == 10][0]
+        tree.share_left_subtree(node10, node3)
+        violations = check_heap_against_declaration(tree.heap, declaration("BinTree"))
+        assert any(v.kind == "uniqueness" for v in violations)
+        # the repair of section 3.3.1 restores validity
+        tree.repair_shared_subtree(node3)
+        assert check_heap_against_declaration(tree.heap, declaration("BinTree")) == []
+
+    def test_cycle_through_left_is_detected(self):
+        tree = BinarySearchTree.from_iterable([5, 2, 8])
+        node2 = [r for r in tree.refs() if tree.heap.load(r, "data") == 2][0]
+        tree.heap.store(node2, "left", tree.root)
+        violations = check_heap_against_declaration(tree.heap, declaration("BinTree"))
+        assert any(v.kind == "cycle" for v in violations)
+
+
+class TestComplexStructures:
+    def test_orthogonal_list_passes(self):
+        matrix = OrthogonalListMatrix.from_dense([[1, 0, 2], [0, 0, 3], [4, 5, 0]])
+        assert check_heap_against_declaration(matrix.heap, declaration("OrthList")) == []
+
+    def test_range_tree_passes_including_independence(self):
+        tree = RangeTree2D([(1, 5), (2, 3), (4, 8), (6, 1), (7, 7), (9, 2)])
+        assert check_heap_against_declaration(tree.heap, declaration("TwoDRangeTree")) == []
+
+    def test_range_tree_independence_violation_detected(self):
+        tree = RangeTree2D([(1, 5), (2, 3), (4, 8)])
+        # wire a primary node's `left` into its own secondary tree: now a node
+        # is reachable both along `down` and along `sub`, breaking sub||down
+        secondary_root = tree.heap.load(tree.root, "subtree")
+        assert secondary_root != NULL_REF
+        victim = tree.heap.load(secondary_root, "left")
+        if victim == NULL_REF:
+            victim = secondary_root
+        tree.heap.store(tree.root, "left", victim)
+        violations = check_heap_against_declaration(tree.heap, declaration("TwoDRangeTree"))
+        assert any(v.kind in ("independence", "uniqueness") for v in violations)
+
+    def test_quadtree_passes(self):
+        qt = PointRegionQuadTree.from_points(
+            [(0.1, 0.2), (-0.5, 0.3), (0.7, -0.8), (0.15, 0.25), (-0.9, -0.9)]
+        )
+        assert check_heap_against_declaration(qt.heap, declaration("QuadTree")) == []
+
+    def test_interpreted_octree_build_passes(self, bh_program):
+        """The heap built by the toy-language Barnes-Hut program satisfies Octree."""
+        result, interp = run_program(bh_program)
+        assert result != NULL_REF
+        violations = check_heap_against_declaration(interp.heap, declaration("Octree"))
+        assert violations == []
+
+
+class TestCheckerInternals:
+    def test_individual_check_methods(self):
+        lst = OneWayList.from_iterable(range(4))
+        checker = RuntimeShapeChecker(lst.heap, declaration("OneWayList"))
+        assert checker.check_acyclicity() == []
+        assert checker.check_uniqueness() == []
+        assert checker.check_directions() == []
+        assert checker.check_independence() == []
+
+    def test_empty_heap_is_trivially_valid(self):
+        assert check_heap_against_declaration(Heap(), declaration("Octree")) == []
+
+    def test_violation_reports_nodes(self):
+        lst = OneWayList.from_iterable(range(3))
+        lst.make_cycle()
+        violations = check_heap_against_declaration(lst.heap, declaration("OneWayList"))
+        assert violations and violations[0].nodes
+        assert "cycle" in str(violations[0])

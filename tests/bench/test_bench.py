@@ -1,0 +1,97 @@
+"""Tests for the experiment harness (tables, figures glue, ablations)."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_SPEEDUPS,
+    PAPER_TIMES,
+    compare_with_paper,
+    format_speedup_table,
+    format_times_table,
+    loss_attribution,
+    run_speedup_experiment,
+    scheduling_ablation,
+    subtree_parallelism_ablation,
+    sync_cost_ablation,
+)
+from repro.bench.expected import paper_qualitative_claims, paper_speedup, paper_time
+from repro.bench.tables import qualitative_checks
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    """A reduced version of the headline experiment (fast enough for CI)."""
+    return run_speedup_experiment(ns=(64, 192), pe_counts=(4, 7), steps=1)
+
+
+class TestExpectedValues:
+    def test_paper_tables_are_consistent(self):
+        for pes in (4, 7):
+            for n in (128, 512, 1024):
+                implied = PAPER_TIMES[1][n] / PAPER_TIMES[pes][n]
+                assert implied == pytest.approx(PAPER_SPEEDUPS[pes][n], abs=0.06)
+
+    def test_accessors(self):
+        assert paper_time(1, 128) == 188.0
+        assert paper_speedup(7, 1024) == 4.3
+        assert len(paper_qualitative_claims()) >= 5
+
+
+class TestSpeedupExperiment:
+    def test_table_has_every_cell(self, small_table):
+        assert set(small_table.cells) == {
+            (n, p) for n in (64, 192) for p in (1, 4, 7)
+        }
+
+    def test_shape_claims_hold_on_small_workload(self, small_table):
+        for n in (64, 192):
+            assert small_table.speedup(n, 4) > 1.5
+            assert small_table.speedup(n, 7) > small_table.speedup(n, 4)
+            assert small_table.speedup(n, 7) < 7
+        assert small_table.speedup(192, 4) >= small_table.speedup(64, 4) - 0.05
+
+    def test_formatting(self, small_table):
+        times = format_times_table(small_table)
+        speedups = format_speedup_table(small_table)
+        comparison = compare_with_paper(small_table)
+        assert "seq" in times and "par(7)" in times
+        assert "SPEEDUP" in speedups
+        assert "shape checks" in comparison
+
+    def test_calibration_scale_positive(self, small_table):
+        assert small_table.calibration_scale(reference_n=64) > 0
+
+    def test_qualitative_checks_structure(self, small_table):
+        checks = qualitative_checks(small_table)
+        assert all(isinstance(claim, str) and isinstance(ok, bool) for claim, ok in checks)
+        core = [ok for claim, ok in checks if "beats sequential" in claim]
+        assert core == [True]
+
+
+class TestAblations:
+    def test_loss_attribution_every_variant_helps(self):
+        result = loss_attribution(n=192, pes=4, steps=1)
+        assert result.baseline_speedup > 1.5
+        for name, value in result.variants.items():
+            assert value >= result.baseline_speedup - 1e-9, name
+        combined = result.variants["all of the above + parallel tree build"]
+        assert combined > result.baseline_speedup
+        assert combined <= 4.0 + 1e-6
+        assert "baseline" in result.render()
+
+    def test_scheduling_ablation_dynamic_beats_static(self):
+        result = scheduling_ablation(n=192, pes=7, steps=1)
+        assert result.variants["dynamic"] >= result.baseline_speedup
+
+    def test_sync_cost_monotone(self):
+        result = sync_cost_ablation(n=192, pes=4, sync_costs=(0.0, 10.0, 100.0))
+        assert (
+            result.variants["sync=0"]
+            >= result.variants["sync=10"]
+            >= result.variants["sync=100"]
+        )
+
+    def test_subtree_parallelism_bounded_by_pe_count(self):
+        result = subtree_parallelism_ablation(n=192, pes=4)
+        for value in result.variants.values():
+            assert value <= 4.0 + 1e-6

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adds.library import merged_into
+from repro.lang.parser import parse_program
+
+
+#: the polynomial-scaling program of section 3.3.2, used across many tests
+SCALE_SRC = """
+function build(n)
+{ var head; var p; var i;
+  head = NULL;
+  i = 0;
+  while i < n
+  { p = new ListNode;
+    p->coef = i + 1;
+    p->exp = i;
+    p->next = head;
+    head = p;
+    i = i + 1;
+  }
+  return head;
+}
+
+function scale(head, c)
+{ var p;
+  p = head;
+  while p <> NULL
+  { p->coef = p->coef * c;
+    p = p->next;
+  }
+  return head;
+}
+
+function main()
+{ var h;
+  h = build(8);
+  h = scale(h, 3);
+  return h;
+}
+"""
+
+
+@pytest.fixture
+def scale_program():
+    """The ListNode declaration plus build/scale/main."""
+    return merged_into(SCALE_SRC, "ListNode")
+
+
+@pytest.fixture
+def bh_program():
+    """The toy-language Barnes-Hut program with the Octree ADDS declaration."""
+    from repro.nbody.toy_program import barnes_hut_toy_program
+
+    return barnes_hut_toy_program()
+
+
+@pytest.fixture
+def small_particles():
+    """A small deterministic particle set."""
+    from repro.nbody.datasets import uniform_cube
+
+    return uniform_cube(48, seed=5)

@@ -1,0 +1,182 @@
+"""Tests for the reference interpreter and its explicit heap."""
+
+import pytest
+
+from repro.lang.errors import RuntimeLangError
+from repro.lang.heap import NULL_REF
+from repro.lang.interpreter import Interpreter, run_program
+from repro.lang.parser import parse_program
+
+
+class TestArithmeticAndControlFlow:
+    def test_recursion_and_arithmetic(self):
+        program = parse_program(
+            "function fib(n) { if n < 2 then return n; return fib(n - 1) + fib(n - 2); }"
+        )
+        result, _ = run_program(program, entry="fib", args=(10,))
+        assert result == 55
+
+    def test_while_loop_and_float_math(self):
+        program = parse_program(
+            """
+            function sum_inverse(n)
+            { var total; var i;
+              total = 0.0;
+              i = 1;
+              while i <= n
+              { total = total + 1.0 / i;
+                i = i + 1;
+              }
+              return total;
+            }
+            """
+        )
+        result, _ = run_program(program, entry="sum_inverse", args=(4,))
+        assert result == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_for_loop_counts_iterations(self):
+        program = parse_program(
+            "function f(n) { var s; s = 0; for i = 1 to n { s = s + i; } return s; }"
+        )
+        result, interp = run_program(program, entry="f", args=(5,))
+        assert result == 15
+        assert interp.stats.loop_iterations == 5
+
+    def test_parallel_for_reference_semantics(self):
+        program = parse_program(
+            "function f(n) { var s; s = 0; for i = 1 to n in parallel { s = s + i; } return s; }"
+        )
+        result, interp = run_program(program, entry="f", args=(4,))
+        assert result == 10
+        assert interp.stats.parallel_loops == 1
+
+    def test_division_by_zero_raises(self):
+        program = parse_program("function f(x) { return 1 / x; }")
+        with pytest.raises(RuntimeLangError):
+            run_program(program, entry="f", args=(0,))
+
+    def test_builtin_functions(self):
+        program = parse_program("function f(x) { return sqrt(x) + abs(0 - 2); }")
+        result, _ = run_program(program, entry="f", args=(9.0,))
+        assert result == pytest.approx(5.0)
+
+    def test_custom_builtin_registration(self):
+        program = parse_program("function f(x) { return double(x); }")
+        result, _ = run_program(
+            program, entry="f", args=(21,), builtins={"double": lambda v: v * 2}
+        )
+        assert result == 42
+
+
+class TestHeapSemantics:
+    def test_allocation_and_field_access(self, scale_program):
+        result, interp = run_program(scale_program)
+        assert interp.stats.allocations == 8
+        # build() pushes 8..1 at the front, then scale() multiplies by 3
+        cell = interp.heap.cell(result)
+        assert cell.fields["coef"] == 8 * 3
+        values = []
+        ref = result
+        while ref != NULL_REF:
+            values.append(interp.heap.cell(ref).fields["coef"])
+            ref = interp.heap.cell(ref).fields["next"]
+        assert values == [v * 3 for v in range(8, 0, -1)]
+
+    def test_unknown_field_raises(self):
+        program = parse_program(
+            "type T { int v; }; function f() { var p; p = new T; return p->missing; }"
+        )
+        with pytest.raises(RuntimeLangError):
+            run_program(program, entry="f")
+
+    def test_store_through_null_raises(self):
+        program = parse_program(
+            "type T { int v; T *n; }; function f() { var p; p = NULL; p->v = 1; return 0; }"
+        )
+        with pytest.raises(RuntimeLangError):
+            run_program(program, entry="f")
+
+    def test_array_field_indexing(self):
+        program = parse_program(
+            """
+            type Node { int v; Node *kids[4]; };
+            function f()
+            { var a; var b;
+              a = new Node;
+              b = new Node;
+              b->v = 7;
+              a->kids[2] = b;
+              return a->kids[2]->v;
+            }
+            """
+        )
+        result, _ = run_program(program, entry="f")
+        assert result == 7
+
+    def test_array_index_out_of_bounds_raises(self):
+        program = parse_program(
+            "type Node { Node *kids[2]; }; function f() { var a; a = new Node; return a->kids[5]; }"
+        )
+        with pytest.raises(RuntimeLangError):
+            run_program(program, entry="f")
+
+
+class TestSpeculativeTraversability:
+    """Section 3.2: traversing past the end of a structure must not fault."""
+
+    SRC = """
+    type L [X] { int v; L *next is uniquely forward along X; };
+    function f(k)
+    { var p; var i;
+      p = new L;
+      p->v = 1;
+      i = 0;
+      while i < k
+      { p = p->next;
+        i = i + 1;
+      }
+      return p;
+    }
+    """
+
+    def test_walking_past_the_end_yields_null(self):
+        program = parse_program(self.SRC)
+        result, _ = run_program(program, entry="f", args=(5,))
+        assert result == NULL_REF
+
+    def test_disabled_speculation_faults(self):
+        program = parse_program(self.SRC)
+        with pytest.raises(RuntimeLangError):
+            run_program(program, entry="f", args=(5,), speculative_traversal=False)
+
+    def test_data_access_through_null_still_faults(self):
+        program = parse_program(
+            "type L { int v; L *next; }; function f() { var p; p = NULL; return p->v + 1; }"
+        )
+        # the speculative load returns NULL (0); adding is fine, but a store is not —
+        # verify the documented boundary: loads are speculative, stores are not
+        result, _ = run_program(program, entry="f")
+        assert result == 1
+
+
+class TestExecutionStats:
+    def test_operation_counters_increase(self, scale_program):
+        _, interp = run_program(scale_program)
+        stats = interp.stats
+        assert stats.field_writes >= 8 * 3  # coef, exp, next per node at least
+        assert stats.field_reads > 0
+        assert stats.calls >= 3
+        assert stats.total_operations() > stats.statements
+
+    def test_max_steps_guard(self):
+        program = parse_program(
+            "function f() { var i; i = 0; while true { i = i + 1; } return i; }"
+        )
+        interp = Interpreter(program, max_steps=1000)
+        with pytest.raises(RuntimeLangError):
+            interp.call_function("f")
+
+    def test_output_capture_via_print(self):
+        program = parse_program('function f() { print("hello", 42); return 0; }')
+        _, interp = run_program(program, entry="f")
+        assert interp.output == ["hello 42"]

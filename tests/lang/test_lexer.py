@@ -1,0 +1,89 @@
+"""Unit tests for the toy-language lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind as K
+
+
+def kinds(source: str) -> list[K]:
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source) if t.kind is not K.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        assert kinds("") == [K.EOF]
+
+    def test_identifiers_and_keywords_are_distinguished(self):
+        toks = tokenize("type while foo forward along bar")
+        assert [t.kind for t in toks[:-1]] == [
+            K.KW_TYPE, K.KW_WHILE, K.IDENT, K.KW_FORWARD, K.KW_ALONG, K.IDENT,
+        ]
+
+    def test_integer_and_float_literals(self):
+        toks = tokenize("42 3.5 1e3 2.5e-2 7")
+        assert [t.kind for t in toks[:-1]] == [
+            K.INT_LIT, K.FLOAT_LIT, K.FLOAT_LIT, K.FLOAT_LIT, K.INT_LIT,
+        ]
+
+    def test_string_literal_with_escapes(self):
+        toks = tokenize(r'"hello\nworld"')
+        assert toks[0].kind is K.STRING_LIT
+        assert toks[0].text == "hello\nworld"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestOperators:
+    def test_arrow_versus_minus(self):
+        assert kinds("p->next")[:3] == [K.IDENT, K.ARROW, K.IDENT]
+        assert kinds("a - b")[:3] == [K.IDENT, K.MINUS, K.IDENT]
+
+    def test_comparison_operators(self):
+        assert kinds("a <> b == c <= d >= e < f > g")[1:-1:2] == [
+            K.NEQ, K.EQ, K.LE, K.GE, K.LT, K.GT,
+        ]
+
+    def test_independence_operator(self):
+        assert K.INDEP in kinds("sub||down")
+
+    def test_null_keyword_case_variants(self):
+        assert kinds("NULL null")[:2] == [K.KW_NULL, K.KW_NULL]
+
+
+class TestCommentsAndPositions:
+    def test_block_and_line_comments_are_skipped(self):
+        source = "a /* comment \n spanning lines */ b // trailing\n c # hash\n d"
+        assert texts(source) == ["a", "b", "c", "d"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_line_numbers_advance(self):
+        toks = tokenize("a\nb\n  c")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+        assert toks[2].col == 3
+
+    def test_paper_adds_declaration_tokenizes(self):
+        source = """
+        type OneWayList [X]
+        { int data;
+          OneWayList *next is uniquely forward along X;
+        };
+        """
+        token_kinds = kinds(source)
+        assert K.KW_UNIQUELY in token_kinds
+        assert K.KW_FORWARD in token_kinds
+        assert K.KW_ALONG in token_kinds

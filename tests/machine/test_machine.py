@@ -1,0 +1,175 @@
+"""Tests for the simulated multiprocessor: cost model, schedulers, simulator, executors."""
+
+import pytest
+
+from repro.machine import (
+    IDEAL_MACHINE,
+    SEQUENT_LIKE,
+    DynamicScheduler,
+    MachineConfig,
+    MachineSimulator,
+    ProcessingElement,
+    SequentialBackend,
+    SimulationTrace,
+    StaticBlockScheduler,
+    StaticInterleavedScheduler,
+    ThreadPoolExecutorBackend,
+    make_scheduler,
+)
+
+
+class TestCostModel:
+    def test_with_pes_returns_new_config(self):
+        m = SEQUENT_LIKE.with_pes(7)
+        assert m.num_pes == 7
+        assert SEQUENT_LIKE.num_pes == 4  # original unchanged
+
+    def test_contention_factor_grows_with_pes(self):
+        assert SEQUENT_LIKE.with_pes(7).contention_factor() > SEQUENT_LIKE.with_pes(
+            4
+        ).contention_factor() > 1.0
+
+    def test_ideal_machine_has_no_overheads(self):
+        assert IDEAL_MACHINE.sync_cost == 0.0
+        assert IDEAL_MACHINE.contention_factor() == 1.0
+
+    def test_describe_mentions_scheduling(self):
+        assert "static" in SEQUENT_LIKE.describe()
+
+
+class TestSchedulers:
+    COSTS = [5.0, 1.0, 9.0, 2.0, 7.0, 3.0, 8.0]
+
+    def test_interleaved_assignment(self):
+        assignment = StaticInterleavedScheduler().assign(self.COSTS, 3)
+        assert assignment == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_block_assignment_covers_everything_once(self):
+        assignment = StaticBlockScheduler().assign(self.COSTS, 3)
+        flat = sorted(i for tasks in assignment for i in tasks)
+        assert flat == list(range(len(self.COSTS)))
+        assert len(assignment) == 3
+
+    def test_dynamic_balances_better_than_interleaved(self):
+        loads = lambda assignment: [sum(self.COSTS[i] for i in tasks) for tasks in assignment]
+        inter = max(loads(StaticInterleavedScheduler().assign(self.COSTS, 3)))
+        dyn = max(loads(DynamicScheduler(sort_by_cost=True).assign(self.COSTS, 3)))
+        assert dyn <= inter
+
+    def test_factory(self):
+        assert isinstance(make_scheduler("dynamic"), DynamicScheduler)
+        with pytest.raises(ValueError):
+            make_scheduler("banana")
+
+
+class TestProcessingElement:
+    def test_accounting(self):
+        pe = ProcessingElement(0)
+        pe.run_task(10.0)
+        pe.wait(2.0)
+        pe.synchronize(1.0)
+        assert pe.total_time == 13.0
+        assert pe.utilization() == pytest.approx(10.0 / 13.0)
+        pe.reset()
+        assert pe.total_time == 0.0
+
+
+class TestSimulator:
+    def test_ideal_machine_uniform_work_gives_linear_speedup(self):
+        costs = [10.0] * 64
+        sim = MachineSimulator(IDEAL_MACHINE.with_pes(4))
+        trace = sim.simulate_stripmined_pass(costs)
+        assert trace.speedup_against(sum(costs)) == pytest.approx(4.0)
+
+    def test_overheads_reduce_speedup(self):
+        costs = [10.0] * 64
+        ideal = MachineSimulator(IDEAL_MACHINE.with_pes(4)).simulate_stripmined_pass(costs)
+        real = MachineSimulator(SEQUENT_LIKE.with_pes(4)).simulate_stripmined_pass(costs)
+        assert real.elapsed > ideal.elapsed
+
+    def test_imbalanced_groups_cause_idle_time(self):
+        costs = [1.0, 100.0, 1.0, 1.0]
+        trace = MachineSimulator(IDEAL_MACHINE.with_pes(4)).simulate_stripmined_pass(costs)
+        assert trace.idle_time > 0
+        assert trace.elapsed == pytest.approx(100.0)
+
+    def test_more_pes_never_slower_on_uniform_work(self):
+        costs = [10.0] * 70
+        e4 = MachineSimulator(IDEAL_MACHINE.with_pes(4)).simulate_stripmined_pass(costs).elapsed
+        e7 = MachineSimulator(IDEAL_MACHINE.with_pes(7)).simulate_stripmined_pass(costs).elapsed
+        assert e7 <= e4
+
+    def test_sequential_prologue_is_charged(self):
+        sim = MachineSimulator(IDEAL_MACHINE.with_pes(4))
+        trace = sim.simulate_stripmined_pass([1.0] * 4, sequential_prologue=50.0)
+        assert trace.sequential_time >= 50.0
+
+    def test_doall_with_dynamic_scheduler_amortizes_sync(self):
+        costs = [5.0] * 100
+        machine = SEQUENT_LIKE.with_pes(4)
+        stripmined = MachineSimulator(machine).simulate_stripmined_pass(costs)
+        doall = MachineSimulator(machine).simulate_doall(costs, scheduler_name="dynamic")
+        assert doall.elapsed < stripmined.elapsed  # one barrier instead of 25
+
+    def test_trace_describe(self):
+        trace = MachineSimulator(SEQUENT_LIKE).simulate_stripmined_pass([1.0] * 8)
+        assert "PE0" in trace.describe()
+        assert trace.parallel_steps == 2
+
+    def test_speedup_of_empty_trace_is_infinite(self):
+        trace = SimulationTrace(config=SEQUENT_LIKE)
+        assert trace.speedup_against(100.0) == float("inf")
+
+
+class TestExecutors:
+    def test_sequential_backend_preserves_order(self):
+        backend = SequentialBackend()
+        assert backend.map_indices(lambda i: i * i, 5) == [0, 1, 4, 9, 16]
+
+    def test_thread_backend_matches_sequential_results(self):
+        backend = ThreadPoolExecutorBackend(num_workers=4)
+        results = backend.map_indices(lambda i: i * i, 32)
+        assert results == [i * i for i in range(32)]
+
+    def test_thread_backend_uses_multiple_workers(self):
+        backend = ThreadPoolExecutorBackend(num_workers=4)
+        backend.run([(lambda i=i: i) for i in range(16)])
+        assert len(backend.threads_observed) >= 1
+
+    def test_stripmined_grouping(self):
+        backend = ThreadPoolExecutorBackend(num_workers=3)
+        results = backend.run_stripmined(lambda i: i + 1, 10)
+        assert results == list(range(1, 11))
+
+
+class TestInterpreterIntegration:
+    def test_parallel_for_costs_are_charged_to_the_simulator(self):
+        from repro.lang.parser import parse_program
+        from repro.lang.interpreter import Interpreter
+
+        program = parse_program(
+            """
+            function work(n)
+            { var s; var j;
+              s = 0;
+              for j = 1 to n { s = s + j; }
+              return s;
+            }
+            function main()
+            { var total;
+              total = 0;
+              for i = 0 to 7 in parallel
+              { total = total + work(50);
+              }
+              return total;
+            }
+            """
+        )
+        interp = Interpreter(program)
+        simulator = MachineSimulator(IDEAL_MACHINE.with_pes(4))
+        executor = simulator.attach_to_interpreter(interp)
+        result = interp.call_function("main")
+        assert result == 8 * sum(range(1, 51))
+        assert executor.trace.parallel_steps == 1
+        # 8 iterations of similar cost on 4 ideal PEs: roughly half the serial cost
+        assert executor.trace.elapsed < executor.sequential_cost * 0.75

@@ -1,0 +1,174 @@
+"""Tests for the sequential and strip-mined parallel N-body drivers (experiment E7)."""
+
+import pytest
+
+from repro.machine import IDEAL_MACHINE, SEQUENT_LIKE
+from repro.nbody import (
+    BarnesHutSimulation,
+    SimulationConfig,
+    StripMinedParallelSimulation,
+    kinetic_energy,
+    make_particles,
+    momentum,
+    plummer_sphere,
+    total_energy,
+    two_clusters,
+    uniform_cube,
+)
+from repro.nbody.energy import center_of_mass
+
+
+CFG = SimulationConfig(n=48, steps=2, theta=0.5, distribution="uniform", seed=5)
+
+
+class TestDatasets:
+    def test_generators_are_deterministic(self):
+        a = [p.position.as_tuple() for p in uniform_cube(16, seed=3)]
+        b = [p.position.as_tuple() for p in uniform_cube(16, seed=3)]
+        c = [p.position.as_tuple() for p in uniform_cube(16, seed=4)]
+        assert a == b and a != c
+
+    def test_particle_lists_are_linked(self):
+        particles = plummer_sphere(10, seed=1)
+        count = 0
+        p = particles[0]
+        while p is not None:
+            count += 1
+            p = p.next
+        assert count == 10
+
+    def test_two_clusters_are_separated(self):
+        particles = two_clusters(40, seed=2, separation=6.0)
+        left = [p for p in particles if p.position.x < 0]
+        right = [p for p in particles if p.position.x >= 0]
+        assert len(left) == len(right) == 20
+
+    def test_make_particles_dispatch(self):
+        assert len(make_particles(12, "plummer", seed=1)) == 12
+        with pytest.raises(KeyError):
+            make_particles(12, "nope")
+
+
+class TestSequentialSimulation:
+    def test_run_produces_per_step_stats(self, small_particles):
+        sim = BarnesHutSimulation(small_particles, CFG)
+        result = sim.run()
+        assert len(result.steps) == CFG.steps
+        for step in result.steps:
+            assert step.build_work > 0
+            assert step.force_work > 0
+            assert step.interactions > 0
+            assert len(step.per_particle_force_work) == CFG.n
+        assert 0 < result.build_fraction < 0.5
+
+    def test_simulation_moves_particles(self, small_particles):
+        before = [p.position.as_tuple() for p in small_particles]
+        BarnesHutSimulation(small_particles, CFG).run()
+        after = [p.position.as_tuple() for p in small_particles]
+        assert before != after
+
+    def test_energy_roughly_conserved_over_short_run(self):
+        particles = plummer_sphere(40, seed=9)
+        e0 = total_energy(particles)
+        config = SimulationConfig(n=40, steps=5, dt=1e-4, theta=0.3, distribution="plummer", seed=9)
+        BarnesHutSimulation(particles, config).run()
+        e1 = total_energy(particles)
+        assert abs(e1 - e0) < 0.05 * max(abs(e0), 1e-9)
+
+    def test_momentum_nearly_conserved(self):
+        particles = uniform_cube(30, seed=11)
+        p0 = momentum(particles)
+        config = SimulationConfig(n=30, steps=3, dt=1e-3, theta=0.3, distribution="uniform", seed=11)
+        BarnesHutSimulation(particles, config).run()
+        p1 = momentum(particles)
+        # BH approximation breaks exact symmetry, but drift should be small
+        assert (p1 - p0).norm() < 5e-3
+
+    def test_direct_run_matches_bh_closely(self):
+        config = SimulationConfig(n=32, steps=1, theta=0.2, distribution="uniform", seed=6)
+        bh_particles = uniform_cube(32, seed=6)
+        direct_particles = uniform_cube(32, seed=6)
+        BarnesHutSimulation(bh_particles, config).run()
+        BarnesHutSimulation(direct_particles, config).run_direct()
+        for a, b in zip(bh_particles, direct_particles):
+            assert (a.position - b.position).norm() < 1e-4
+
+    def test_center_of_mass_helper(self, small_particles):
+        com = center_of_mass(small_particles)
+        assert abs(com.x) < 1.0 and abs(com.y) < 1.0
+
+    def test_kinetic_energy_nonnegative(self, small_particles):
+        assert kinetic_energy(small_particles) >= 0.0
+
+
+class TestParallelEquivalence:
+    """The strip-mined schedule must compute bit-identical physics (E7)."""
+
+    @pytest.mark.parametrize("pes", [2, 4, 7])
+    def test_simulated_parallel_matches_sequential(self, pes):
+        seq_particles = make_particles(CFG.n, CFG.distribution, seed=CFG.seed)
+        sequential = BarnesHutSimulation(seq_particles, CFG).run()
+        par_particles = make_particles(CFG.n, CFG.distribution, seed=CFG.seed)
+        parallel = StripMinedParallelSimulation(
+            par_particles, CFG, SEQUENT_LIKE.with_pes(pes)
+        ).run()
+        assert parallel.final_states == sequential.final_states
+
+    def test_thread_backend_matches_sequential(self):
+        seq_particles = make_particles(CFG.n, CFG.distribution, seed=CFG.seed)
+        sequential = BarnesHutSimulation(seq_particles, CFG).run()
+        par_particles = make_particles(CFG.n, CFG.distribution, seed=CFG.seed)
+        parallel = StripMinedParallelSimulation(
+            par_particles, CFG, SEQUENT_LIKE.with_pes(4), use_threads=True
+        ).run()
+        assert parallel.final_states == sequential.final_states
+        assert parallel.threads_observed >= 1
+
+    def test_parallel_run_reports_speedup(self):
+        seq_particles = make_particles(96, "uniform", seed=2)
+        config = SimulationConfig(n=96, steps=1, theta=0.4, distribution="uniform", seed=2)
+        sequential = BarnesHutSimulation(seq_particles, config).run()
+        par_particles = make_particles(96, "uniform", seed=2)
+        parallel = StripMinedParallelSimulation(
+            par_particles, config, SEQUENT_LIKE.with_pes(4)
+        ).run()
+        speedup = parallel.speedup_against(sequential.total_work)
+        assert 1.5 < speedup < 4.0
+
+    def test_ideal_machine_gives_higher_speedup_than_sequent(self):
+        config = SimulationConfig(n=96, steps=1, theta=0.4, distribution="uniform", seed=2)
+        seq = BarnesHutSimulation(make_particles(96, "uniform", 2), config).run()
+        real = StripMinedParallelSimulation(
+            make_particles(96, "uniform", 2), config, SEQUENT_LIKE.with_pes(4)
+        ).run()
+        ideal = StripMinedParallelSimulation(
+            make_particles(96, "uniform", 2), config, IDEAL_MACHINE.with_pes(4)
+        ).run()
+        assert ideal.speedup_against(seq.total_work) > real.speedup_against(seq.total_work)
+
+    def test_trace_components_are_consistent(self):
+        config = SimulationConfig(n=64, steps=1, theta=0.4, distribution="uniform", seed=2)
+        parallel = StripMinedParallelSimulation(
+            make_particles(64, "uniform", 2), config, SEQUENT_LIKE.with_pes(4)
+        ).run()
+        trace = parallel.trace
+        assert trace.parallel_steps == 2 * ((64 + 3) // 4)  # force + update passes
+        assert trace.elapsed > trace.sequential_time
+        assert trace.busy_time > 0 and trace.sync_time > 0
+
+
+class TestToyProgramConsistency:
+    def test_toy_program_loops_match_native_structure(self, bh_program):
+        """The toy-language program has the two loops the paper names."""
+        from repro.nbody import BHL1_FUNCTION, BHL2_FUNCTION
+
+        assert bh_program.function_named(BHL1_FUNCTION) is not None
+        assert bh_program.function_named(BHL2_FUNCTION) is not None
+
+    def test_toy_program_runs_and_builds_valid_octree(self, bh_program):
+        from repro.adds import check_heap_against_declaration, declaration
+        from repro.lang.interpreter import run_program
+
+        head, interp = run_program(bh_program)
+        assert head != 0
+        assert check_heap_against_declaration(interp.heap, declaration("Octree")) == []

@@ -1,0 +1,137 @@
+"""Tests for the conservative and k-limited baseline analyses, and the alias oracle."""
+
+import pytest
+
+from repro.adds.library import merged_into
+from repro.pathmatrix import (
+    AliasAnswer,
+    AliasOracle,
+    ConservativeOracle,
+    KLimitedAnalysis,
+    KLimitedOracle,
+    analyze_loop_dependence,
+)
+from repro.pathmatrix.alias import AccessPath
+from repro.pathmatrix.baseline import conservative_matrix, conservative_matrix_for
+from repro.pathmatrix.klimited import SUMMARY, StorageGraph
+
+
+class TestConservativeBaseline:
+    def test_everything_may_alias(self):
+        oracle = ConservativeOracle(["a", "b", "c"])
+        assert oracle.may_alias("a", "b")
+        assert oracle.alias("a", "a") is AliasAnswer.MUST
+        assert oracle.precision_score() == 0.0
+        assert oracle.not_aliased_pairs() == []
+
+    def test_distinct_fields_never_conflict(self):
+        oracle = ConservativeOracle()
+        assert not oracle.may_conflict(AccessPath("a", "coef"), AccessPath("b", "next"))
+        assert oracle.may_conflict(AccessPath("a", "coef"), AccessPath("b", "coef"))
+        assert oracle.may_conflict(AccessPath("a", "*"), AccessPath("b", "coef"))
+
+    def test_conservative_matrix_matches_paper_shape(self, scale_program):
+        pm = conservative_matrix_for(scale_program, "scale")
+        assert pm.may_alias("head", "p")
+        assert not pm.must_alias("head", "p")
+
+    def test_plain_variables_do_not_conflict_with_heap(self):
+        oracle = ConservativeOracle()
+        assert not oracle.may_conflict(AccessPath("a"), AccessPath("b", "coef"))
+        assert oracle.access_conflict(AccessPath("a"), AccessPath("a")) is AliasAnswer.MUST
+
+
+class TestAliasOracle:
+    def test_oracle_over_loop_matrix(self, scale_program):
+        report = analyze_loop_dependence(scale_program, "scale")
+        oracle = AliasOracle(report.matrix_after_body)
+        assert oracle.alias("p", "p'") is AliasAnswer.NO
+        assert not oracle.may_conflict(
+            AccessPath("p", "coef"), AccessPath("p'", "coef")
+        )
+        assert oracle.precision_score() > 0.0
+        assert ("p", "p'") in [tuple(sorted(x)) for x in oracle.not_aliased_pairs()] or (
+            "p'", "p"
+        ) in oracle.not_aliased_pairs()
+
+    def test_unknown_variable_is_conservative(self, scale_program):
+        report = analyze_loop_dependence(scale_program, "scale")
+        oracle = AliasOracle(report.matrix_after_body)
+        assert oracle.alias("p", "something_else") is AliasAnswer.MAY
+
+
+class TestStorageGraph:
+    def test_basic_var_tracking(self):
+        g = StorageGraph(k=2)
+        g.set_var("a", frozenset({"alloc@1:T"}))
+        g.set_var("b", frozenset({"alloc@1:T"}))
+        g.set_var("c", frozenset({"alloc@2:T"}))
+        assert g.may_alias("a", "b")
+        assert g.must_alias("a", "b")
+        assert not g.may_alias("a", "c")
+
+    def test_summary_nodes_force_may_alias(self):
+        g = StorageGraph(k=1)
+        g.set_var("a", frozenset({SUMMARY}))
+        g.set_var("b", frozenset({SUMMARY}))
+        assert g.may_alias("a", "b")
+        assert not g.must_alias("a", "b")
+
+    def test_limit_merges_deep_nodes(self):
+        g = StorageGraph(k=1)
+        g.set_var("a", frozenset({"n0"}))
+        g.edges[("n0", "next")] = frozenset({"n1"})
+        g.edges[("n1", "next")] = frozenset({"n2"})
+        g.limit()
+        # n1 is at depth 1 (kept), n2 at depth 2 (merged into the summary)
+        assert g.edges[("n1", "next")] == frozenset({SUMMARY})
+
+    def test_join_unions_targets(self):
+        a = StorageGraph(k=2)
+        a.set_var("p", frozenset({"x"}))
+        b = StorageGraph(k=2)
+        b.set_var("p", frozenset({"y"}))
+        joined = a.join(b)
+        assert joined.var_targets["p"] == frozenset({"x", "y"})
+
+
+class TestKLimitedAnalysis:
+    def test_cannot_prove_list_traversal_independent(self, scale_program):
+        analysis = KLimitedAnalysis(scale_program, k=2)
+        assert not analysis.loop_traversal_independent("scale")
+
+    def test_cannot_prove_even_with_larger_k(self, scale_program):
+        # larger k delays but does not remove the summary-node merging,
+        # because the list length is unbounded at analysis time
+        analysis = KLimitedAnalysis(scale_program, k=4)
+        assert not analysis.loop_traversal_independent("scale")
+
+    def test_distinguishes_fresh_allocations_in_straight_line_code(self):
+        program = merged_into(
+            """
+            function f()
+            { var a; var b;
+              a = new ListNode;
+              b = new ListNode;
+              a->next = b;
+              return a;
+            }
+            """,
+            "ListNode",
+        )
+        analysis = KLimitedAnalysis(program, k=2)
+        state = analysis.final_state("f")
+        assert not state.may_alias("a", "b")
+        oracle = KLimitedOracle(state)
+        assert oracle.alias("a", "b") is AliasAnswer.NO
+        assert oracle.precision_score() > 0.0
+
+    def test_oracle_field_conflicts(self, scale_program):
+        analysis = KLimitedAnalysis(scale_program, k=2)
+        oracle = KLimitedOracle(analysis.state_before_loop("scale"))
+        # distinct fields never conflict even under the summary node
+        assert not oracle.may_conflict(AccessPath("p", "coef"), AccessPath("head", "next"))
+
+    def test_barnes_hut_loops_not_parallelizable_by_klimited(self, bh_program):
+        analysis = KLimitedAnalysis(bh_program, k=2)
+        assert not analysis.loop_traversal_independent("bh_force_pass")

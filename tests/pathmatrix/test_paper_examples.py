@@ -1,0 +1,101 @@
+"""The paper's worked analysis examples, as acceptance tests (experiments E3–E6)."""
+
+import pytest
+
+from repro.bench.figures import (
+    bhl1_pathmatrix_figure,
+    polynomial_pathmatrix_figure,
+    precision_comparison,
+    validation_trace_figure,
+)
+
+
+class TestSection332PolynomialExample:
+    """Section 3.3.2: alias analysis of the coefficient-scaling loop."""
+
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return polynomial_pathmatrix_figure()
+
+    def test_all_paper_claims_hold(self, figure):
+        failing = [claim for claim, ok in figure.claims.items() if not ok]
+        assert not failing, f"claims not reproduced: {failing}"
+
+    def test_conservative_matrix_marks_head_p_as_potential_aliases(self, figure):
+        assert figure.conservative.may_alias("head", "p")
+
+    def test_adds_matrix_proves_iterations_touch_distinct_nodes(self, figure):
+        after = figure.with_adds_after_body
+        assert not after.may_alias("p", "p'")
+        assert any(rel.field == "next" for rel in after.get("p'", "p").paths())
+
+    def test_render_produces_both_matrices(self, figure):
+        text = figure.render()
+        assert "conservative" in text
+        assert "next" in text
+        assert "[ok]" in text and "[FAIL]" not in text
+
+
+class TestSection432BarnesHutExample:
+    """Section 4.3.2: the path matrix for BHL1."""
+
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return bhl1_pathmatrix_figure()
+
+    def test_all_paper_claims_hold(self, figure):
+        failing = [claim for claim, ok in figure.claims.items() if not ok]
+        assert not failing, f"claims not reproduced: {failing}"
+
+    def test_root_is_still_a_possible_alias(self, figure):
+        """The paper: root is a possible alias with all other pointer
+        variables — harmless because compute_force uses it read-only."""
+        assert figure.with_adds_after_body.may_alias("root", "p")
+
+    def test_traversal_variable_pairs_are_independent(self, figure):
+        after = figure.with_adds_after_body
+        assert not after.may_alias("p", "p'")
+
+
+class TestSection21PrecisionComparison:
+    """Figures 1/2 behaviourally: ADDS+GPM vs the prior approaches."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return precision_comparison()
+
+    def test_only_adds_gpm_proves_traversal_independence(self, comparison):
+        assert comparison.row("ADDS + GPM").proves_traversal_independent
+        assert not comparison.row("conservative").proves_traversal_independent
+        assert not comparison.row("k-limited (k=2)").proves_traversal_independent
+
+    def test_adds_gpm_is_strictly_more_precise(self, comparison):
+        adds = comparison.row("ADDS + GPM")
+        assert adds.precision_score > comparison.row("conservative").precision_score
+        assert adds.precision_score >= comparison.row("k-limited (k=2)").precision_score
+        assert adds.non_alias_pairs >= 1
+
+    def test_render_lists_all_three_analyses(self, comparison):
+        text = comparison.render()
+        for name in ("conservative", "k-limited", "ADDS + GPM"):
+            assert name in text
+
+
+class TestSection331ValidationExample:
+    """Section 3.3.1: the subtree move temporarily breaks the abstraction."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return validation_trace_figure()
+
+    def test_broken_after_first_statement(self, trace):
+        assert trace.valid_after[0] is False
+        assert any("sharing" in v for v in trace.violations_after[0])
+
+    def test_valid_again_after_second_statement(self, trace):
+        assert trace.valid_after[1] is True
+        assert trace.violations_after[1] == []
+
+    def test_trace_renders(self, trace):
+        text = trace.render()
+        assert "BROKEN" in text and "valid" in text

@@ -1,0 +1,149 @@
+"""Unit tests for path-matrix entries (relations) and the PathMatrix container."""
+
+import pytest
+
+from repro.pathmatrix.paths import EMPTY_ENTRY, PathEntry, Relation
+from repro.pathmatrix.matrix import PathMatrix
+
+
+class TestRelations:
+    def test_alias_rendering(self):
+        assert str(Relation.alias()) == "="
+        assert str(Relation.alias(definite=False)) == "=?"
+
+    def test_path_rendering(self):
+        assert str(Relation.path("next")) == "next"
+        assert str(Relation.path("next", plus=True)) == "next+"
+        assert str(Relation.path("next", plus=True, definite=False)) == "next+?"
+
+    def test_weakened_is_idempotent(self):
+        rel = Relation.path("next")
+        assert rel.weakened().weakened() == rel.weakened()
+        assert not rel.weakened().definite
+
+    def test_extended_makes_plus(self):
+        assert Relation.path("f").extended().plus
+        assert Relation.alias().extended() == Relation.alias()
+
+
+class TestPathEntry:
+    def test_empty_entry_guarantees_no_alias(self):
+        assert EMPTY_ENTRY.guarantees_not_alias()
+        assert not EMPTY_ENTRY.may_alias
+
+    def test_pure_path_entry_guarantees_no_alias(self):
+        entry = PathEntry.single_path("next", plus=True)
+        assert entry.guarantees_not_alias()
+        assert entry.has_path
+        assert entry.path_fields() == {"next"}
+
+    def test_alias_entries(self):
+        assert PathEntry.definite_alias().must_alias
+        assert PathEntry.possible_alias().may_alias
+        assert not PathEntry.possible_alias().must_alias
+
+    def test_join_of_identical_entries_is_unchanged(self):
+        entry = PathEntry.single_path("next")
+        assert entry.join(entry) == entry
+
+    def test_join_weakens_one_sided_relations(self):
+        joined = PathEntry.definite_alias().join(EMPTY_ENTRY)
+        assert joined.may_alias and not joined.must_alias
+
+    def test_join_keeps_shared_definite_relations_definite(self):
+        a = PathEntry([Relation.path("next"), Relation.alias()])
+        b = PathEntry([Relation.path("next")])
+        joined = a.join(b)
+        assert Relation.path("next") in joined.relations  # still definite
+        assert joined.may_alias and not joined.must_alias
+
+    def test_join_is_commutative_and_idempotent(self):
+        a = PathEntry([Relation.path("next", plus=True), Relation.alias(definite=False)])
+        b = PathEntry([Relation.path("left")])
+        assert a.join(b) == b.join(a)
+        assert a.join(a) == a
+
+    def test_union_and_add(self):
+        entry = EMPTY_ENTRY.add(Relation.path("f")).union(PathEntry.possible_alias())
+        assert entry.has_path and entry.may_alias
+
+    def test_str_of_entry_sorted(self):
+        entry = PathEntry([Relation.alias(), Relation.path("next", plus=True)])
+        assert str(entry) in ("=,next+", "next+,=")
+
+
+class TestPathMatrix:
+    def test_diagonal_is_definite_alias(self):
+        pm = PathMatrix(["a", "b"])
+        assert pm.must_alias("a", "a")
+        assert pm.get("a", "a").must_alias
+
+    def test_nil_variable_has_no_relations(self):
+        pm = PathMatrix(["a", "b"])
+        pm.set("a", "b", PathEntry.definite_alias())
+        pm.set_nil("a")
+        assert not pm.may_alias("a", "b")
+        assert not pm.may_alias("a", "a")
+        assert pm.is_nil("a")
+
+    def test_copy_variable_duplicates_relations(self):
+        pm = PathMatrix(["head", "p", "q"])
+        pm.set("head", "q", PathEntry.single_path("next", plus=True))
+        pm.copy_variable("p", "head")
+        assert pm.must_alias("p", "head")
+        assert pm.get("p", "q").path_fields() == {"next"}
+
+    def test_copy_of_nil_is_nil(self):
+        pm = PathMatrix(["a", "b"])
+        pm.set_nil("a")
+        pm.copy_variable("b", "a")
+        assert pm.is_nil("b")
+
+    def test_fresh_variable_is_unrelated(self):
+        pm = PathMatrix.conservative(["a", "b"])
+        pm.set_fresh("a")
+        assert not pm.may_alias("a", "b")
+
+    def test_conservative_matrix_all_possible_aliases(self):
+        pm = PathMatrix.conservative(["x", "y", "z"])
+        assert pm.may_alias("x", "y") and pm.may_alias("y", "z")
+        assert not pm.must_alias("x", "y")
+
+    def test_join_intersects_nil_sets(self):
+        a = PathMatrix(["p", "q"])
+        a.set_nil("p")
+        b = PathMatrix(["p", "q"])
+        b.set("p", "q", PathEntry.definite_alias())
+        joined = a.join(b)
+        assert not joined.is_nil("p")
+        assert joined.may_alias("p", "q")
+        assert not joined.must_alias("p", "q")
+
+    def test_join_of_equivalent_matrices_is_equivalent(self):
+        a = PathMatrix(["p", "q"])
+        a.set("p", "q", PathEntry.single_path("next"))
+        b = a.copy()
+        assert a.join(b).equivalent(a)
+
+    def test_unknown_variables_are_conservative(self):
+        pm = PathMatrix(["a"])
+        assert pm.may_alias("a", "never_seen")
+
+    def test_to_table_renders_all_variables(self):
+        pm = PathMatrix(["head", "p"])
+        pm.set("head", "p", PathEntry.single_path("next", plus=True))
+        table = pm.to_table()
+        assert "head" in table and "next+" in table
+
+    def test_remove_variable(self):
+        pm = PathMatrix(["a", "b"])
+        pm.set("a", "b", PathEntry.definite_alias())
+        pm.remove_variable("b")
+        assert "b" not in pm.variables
+        assert list(pm.entries()) == []
+
+    def test_pointers_reaching(self):
+        pm = PathMatrix(["head", "mid", "p"])
+        pm.set("head", "p", PathEntry.single_path("next", plus=True))
+        pm.set("mid", "p", PathEntry.single_path("next"))
+        assert set(pm.pointers_reaching("p")) == {"head", "mid"}

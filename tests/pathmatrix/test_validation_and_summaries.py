@@ -1,0 +1,102 @@
+"""Additional coverage for the validation state, violations, and summaries."""
+
+import pytest
+
+from repro.adds.library import merged_into
+from repro.pathmatrix import analyze_function
+from repro.pathmatrix.interproc import FunctionSummary, summarize_program
+from repro.pathmatrix.validation import ValidationState, Violation
+
+
+class TestViolationObjects:
+    def test_describe_per_kind(self):
+        sharing = Violation("sharing", "BinTree", "left", new_parent="p1", old_parent="p2", line=3)
+        cycle = Violation("cycle", "ListNode", "next", new_parent="p")
+        unknown = Violation("unknown_store", "Octree", "subtrees", new_parent="q")
+        assert "share" in sharing.describe()
+        assert "cycle" in cycle.describe()
+        assert "unbounded" in unknown.describe()
+        assert "(line 3)" in str(sharing)
+
+    def test_state_add_and_repair(self):
+        state = ValidationState()
+        v = Violation("sharing", "BinTree", "left", new_parent="a", old_parent="b")
+        state.add(v)
+        assert not state.is_valid()
+        assert not state.is_valid_for("BinTree")
+        assert state.is_valid_for("Octree")
+        # overwriting an unrelated parent's edge does not repair it
+        state.repair_parent_edge(["c"], "left")
+        assert not state.is_valid()
+        # overwriting the old parent's edge does
+        state.repair_parent_edge(["b"], "left")
+        assert state.is_valid()
+
+    def test_join_keeps_violations_from_either_side(self):
+        a = ValidationState([Violation("cycle", "T", "f", new_parent="x")])
+        b = ValidationState()
+        joined = a.join(b)
+        assert len(joined) == 1
+        assert not joined.equivalent(b)
+        assert "cycle" in str(joined)
+        assert str(b) == "valid"
+
+
+class TestSummaryEdgeCases:
+    def test_returns_null_function(self):
+        program = merged_into("function nothing(p) { p->coef = 1; return NULL; }", "ListNode")
+        summary = summarize_program(program)["nothing"]
+        assert summary.returns_null
+        assert not summary.returns_fresh
+
+    def test_locally_fresh_return_is_fresh(self):
+        program = merged_into(
+            "function make() { var n; n = new ListNode; n->coef = 1; return n; }",
+            "ListNode",
+        )
+        assert summarize_program(program)["make"].returns_fresh
+
+    def test_mutual_recursion_terminates_and_propagates(self):
+        source = """
+        function even(p, n) { if n == 0 then return p; p->coef = n; return odd(p, n - 1); }
+        function odd(p, n) { if n == 0 then return NULL; return even(p->next, n - 1); }
+        """
+        program = merged_into(source, "ListNode")
+        summaries = summarize_program(program)
+        assert "coef" in summaries["odd"].data_fields_written  # via even
+        assert summaries["even"].callees == {"odd"}
+
+    def test_describe_renders(self):
+        program = merged_into("function f(p) { p->coef = 1; return p; }", "ListNode")
+        text = summarize_program(program)["f"].describe()
+        assert "data fields written" in text and "coef" in text
+
+    def test_summary_is_read_only_flag(self):
+        summary = FunctionSummary(name="x")
+        assert summary.is_read_only
+        summary.data_fields_written.add("v")
+        assert not summary.is_read_only
+
+
+class TestValidationThroughCalls:
+    def test_call_to_unanalyzable_shape_changer_invalidates(self):
+        source = """
+        procedure mangle(p)
+        { p->next = p;
+        }
+        function driver(head)
+        { mangle(head);
+          return head;
+        }
+        """
+        program = merged_into(source, "ListNode")
+        result = analyze_function(program, "mangle")
+        assert not result.final_matrix().validation.is_valid_for("ListNode")
+        driver = analyze_function(program, "driver")
+        # the callee does not preserve the abstraction, so the call site
+        # leaves the caller's abstraction invalid too
+        assert not driver.final_matrix().validation.is_valid_for("ListNode")
+
+    def test_call_to_clean_builder_keeps_abstraction_valid(self, scale_program):
+        result = analyze_function(scale_program, "main")
+        assert result.final_matrix().validation.is_valid_for("ListNode")

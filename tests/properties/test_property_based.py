@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) over the core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adds import check_heap_against_declaration, declaration
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.pretty import unparse
+from repro.nbody import Particle, Vec3, build_tree, direct_forces
+from repro.pathmatrix.paths import PathEntry, Relation
+from repro.structures import BigNum, OneWayList, Polynomial, RangeTree2D, TwoWayList
+
+
+# ---------------------------------------------------------------------------
+# path-entry join algebra
+# ---------------------------------------------------------------------------
+relations = st.builds(
+    Relation,
+    kind=st.sampled_from(["alias", "path"]),
+    field=st.sampled_from(["next", "left", "down"]),
+    plus=st.booleans(),
+    definite=st.booleans(),
+)
+entries = st.lists(relations, max_size=4).map(PathEntry)
+
+
+class TestPathEntryAlgebra:
+    @given(entries, entries)
+    def test_join_is_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(entries)
+    def test_join_is_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(entries, entries, entries)
+    @settings(max_examples=60)
+    def test_join_is_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(entries, entries)
+    def test_join_never_loses_alias_possibility(self, a, b):
+        """Soundness of the join: if either side allows aliasing, so does the join."""
+        joined = a.join(b)
+        if a.may_alias or b.may_alias:
+            assert joined.may_alias
+
+    @given(entries, entries)
+    def test_join_never_invents_must_alias(self, a, b):
+        joined = a.join(b)
+        if joined.must_alias:
+            assert a.must_alias and b.must_alias
+
+    @given(entries)
+    def test_weakened_entries_keep_relations_but_not_certainty(self, a):
+        weak = a.weakened()
+        assert all(not rel.definite for rel in weak.relations)
+        # every original relation survives in weakened form
+        assert all(rel.weakened() in weak.relations for rel in a.relations)
+        assert weak.may_alias == a.may_alias
+
+
+# ---------------------------------------------------------------------------
+# data-structure invariants
+# ---------------------------------------------------------------------------
+class TestListInvariants:
+    @given(st.lists(st.integers(-1000, 1000), max_size=30))
+    @settings(max_examples=50)
+    def test_one_way_list_round_trips_and_stays_valid(self, values):
+        lst = OneWayList.from_iterable(values)
+        assert lst.to_list() == values
+        assert check_heap_against_declaration(lst.heap, declaration("OneWayList")) == []
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_reversal_is_an_involution(self, values):
+        lst = OneWayList.from_iterable(values)
+        lst.reverse_in_place()
+        lst.reverse_in_place()
+        assert lst.to_list() == values
+
+    @given(st.lists(st.integers(-100, 100), max_size=25))
+    @settings(max_examples=50)
+    def test_two_way_list_backward_is_reverse_of_forward(self, values):
+        lst = TwoWayList.from_iterable(values)
+        assert lst.backward() == list(reversed(lst.forward()))
+        assert check_heap_against_declaration(lst.heap, declaration("TwoWayList")) == []
+
+
+class TestArithmeticStructures:
+    @given(st.integers(0, 10**24), st.integers(0, 10**24))
+    @settings(max_examples=60)
+    def test_bignum_addition_matches_python(self, a, b):
+        assert BigNum.from_int(a).add(BigNum.from_int(b)).to_int() == a + b
+
+    @given(st.integers(0, 10**12), st.integers(0, 10**12))
+    @settings(max_examples=40)
+    def test_bignum_multiplication_matches_python(self, a, b):
+        assert BigNum.from_int(a).multiply(BigNum.from_int(b)).to_int() == a * b
+
+    @given(st.integers(0, 10**30))
+    @settings(max_examples=50)
+    def test_bignum_round_trip(self, a):
+        assert BigNum.from_int(a).to_int() == a
+
+    @given(
+        st.dictionaries(st.integers(0, 12), st.integers(-9, 9), max_size=8),
+        st.dictionaries(st.integers(0, 12), st.integers(-9, 9), max_size=8),
+        st.integers(-4, 4),
+    )
+    @settings(max_examples=50)
+    def test_polynomial_ring_laws_at_a_point(self, pd, qd, x):
+        p = Polynomial.from_terms([(c, e) for e, c in pd.items()])
+        q = Polynomial.from_terms([(c, e) for e, c in qd.items()])
+        assert p.add(q).evaluate(x) == p.evaluate(x) + q.evaluate(x)
+        assert p.multiply(q).evaluate(x) == p.evaluate(x) * q.evaluate(x)
+
+
+class TestRangeTreeProperties:
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 40), st.integers(0, 40)), min_size=1, max_size=20
+        ),
+        st.integers(0, 40),
+        st.integers(0, 40),
+        st.integers(0, 40),
+        st.integers(0, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rect_query_matches_brute_force(self, points, a, b, c, d):
+        x1, x2 = sorted((a, b))
+        y1, y2 = sorted((c, d))
+        tree = RangeTree2D(points)
+        expected = sorted(
+            p for p in points if x1 <= p[0] <= x2 and y1 <= p[1] <= y2
+        )
+        assert tree.query_rect(x1, x2, y1, y2) == expected
+
+
+class TestOctreeProperties:
+    coords = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False, width=32)
+
+    @given(st.lists(st.tuples(coords, coords, coords), min_size=1, max_size=40, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_build_tree_invariants(self, positions):
+        particles = [
+            Particle(ident=i, position=Vec3(x, y, z))
+            for i, (x, y, z) in enumerate(positions)
+        ]
+        root, _ = build_tree(particles)
+        assert root.count_particles() == len(particles)
+        assert root.check_invariants() == []
+
+    @given(st.lists(st.tuples(coords, coords, coords), min_size=2, max_size=16, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_direct_forces_are_antisymmetric_in_total(self, positions):
+        particles = [
+            Particle(ident=i, position=Vec3(x, y, z))
+            for i, (x, y, z) in enumerate(positions)
+        ]
+        direct_forces(particles)
+        total = Vec3.zero()
+        for p in particles:
+            total = total + p.force
+        assert total.norm() < 1e-6 * max(1.0, max(p.force.norm() for p in particles))
+
+
+# ---------------------------------------------------------------------------
+# language round trips
+# ---------------------------------------------------------------------------
+int_exprs = st.recursive(
+    st.integers(-50, 50).map(lambda v: str(v) if v >= 0 else f"(0 - {abs(v)})"),
+    lambda inner: st.tuples(inner, st.sampled_from(["+", "-", "*"]), inner).map(
+        lambda t: f"({t[0]} {t[1]} {t[2]})"
+    ),
+    max_leaves=8,
+)
+
+
+class TestLanguageRoundTrips:
+    @given(int_exprs)
+    @settings(max_examples=60)
+    def test_expression_unparse_reparse_is_stable(self, text):
+        expr = parse_expression(text)
+        again = parse_expression(unparse(expr))
+        assert unparse(expr) == unparse(again)
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=6))
+    @settings(max_examples=30)
+    def test_generated_list_programs_execute_consistently(self, values):
+        from repro.lang.interpreter import run_program
+
+        pushes = "\n".join(
+            f"  p = new ListNode; p->coef = {v}; p->next = head; head = p;" for v in values
+        )
+        source = (
+            "type ListNode [X] { int coef; int exp; ListNode *next is uniquely forward along X; };\n"
+            "function main()\n{ var head; var p; var total;\n  head = NULL;\n"
+            + pushes
+            + "\n  total = 0;\n  p = head;\n  while p <> NULL { total = total + p->coef; p = p->next; }\n  return total;\n}"
+        )
+        program = parse_program(source)
+        result, _ = run_program(program)
+        assert result == sum(values)
+        reparsed = parse_program(unparse(program))
+        result2, _ = run_program(reparsed)
+        assert result2 == result

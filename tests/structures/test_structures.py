@@ -1,0 +1,237 @@
+"""Tests for the pointer data-structure library (section 3's examples)."""
+
+import random
+
+import pytest
+
+from repro.adds import check_heap_against_declaration, declaration
+from repro.structures import (
+    BigNum,
+    BinarySearchTree,
+    OneWayList,
+    OrthogonalListMatrix,
+    PointRegionQuadTree,
+    Polynomial,
+    RangeTree2D,
+    TwoWayList,
+)
+
+
+class TestOneWayList:
+    def test_push_front_and_append(self):
+        lst = OneWayList()
+        lst.append(1)
+        lst.push_front(0)
+        lst.append(2)
+        assert lst.to_list() == [0, 1, 2]
+        assert len(lst) == 3
+
+    def test_insert_and_delete_after(self):
+        lst = OneWayList.from_iterable([1, 3])
+        refs = list(lst.refs())
+        lst.insert_after(refs[0], 2)
+        assert lst.to_list() == [1, 2, 3]
+        lst.delete_after(refs[0])
+        assert lst.to_list() == [1, 3]
+
+    def test_map_in_place_is_the_scaling_loop(self):
+        lst = OneWayList.from_iterable([451, 10, 4])
+        lst.map_in_place(lambda v: v * 3)
+        assert lst.to_list() == [1353, 30, 12]
+
+
+class TestTwoWayList:
+    def test_forward_backward_consistency(self):
+        values = list(range(10))
+        lst = TwoWayList.from_iterable(values)
+        assert lst.forward() == values
+        assert lst.backward() == list(reversed(values))
+
+    def test_insert_after_updates_both_directions(self):
+        lst = TwoWayList.from_iterable([1, 3])
+        lst.insert_after(list(lst.forward_refs())[0], 2)
+        assert lst.forward() == [1, 2, 3]
+        assert lst.backward() == [3, 2, 1]
+        assert check_heap_against_declaration(lst.heap, declaration("TwoWayList")) == []
+
+    def test_remove_head_and_tail(self):
+        lst = TwoWayList.from_iterable([1, 2, 3])
+        refs = list(lst.forward_refs())
+        lst.remove(refs[0])
+        lst.remove(refs[-1])
+        assert lst.forward() == [2]
+        assert lst.backward() == [2]
+
+
+class TestBigNum:
+    def test_paper_example_chunking(self):
+        num = BigNum.from_int(3_298_991)
+        assert num.chunks() == [991, 298, 3]  # reverse order, 3 digits per node
+        assert num.to_int() == 3_298_991
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 999), (123456, 789), (10**12, 10**9 + 7)])
+    def test_add_matches_python(self, a, b):
+        assert BigNum.from_int(a).add(BigNum.from_int(b)).to_int() == a + b
+
+    @pytest.mark.parametrize("a,b", [(0, 5), (999, 999), (123456789, 987654321)])
+    def test_multiply_matches_python(self, a, b):
+        assert BigNum.from_int(a).multiply(BigNum.from_int(b)).to_int() == a * b
+
+    def test_compare(self):
+        assert BigNum.from_int(100).compare(BigNum.from_int(200)) == -1
+        assert BigNum.from_int(5000).compare(BigNum.from_int(5000)) == 0
+        assert BigNum.from_int(10**9).compare(BigNum.from_int(10**6)) == 1
+        assert BigNum.from_int(42) == BigNum.from_int(42)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BigNum.from_int(-1)
+
+    def test_nodes_form_valid_one_way_list(self):
+        num = BigNum.from_int(98765432101234)
+        assert check_heap_against_declaration(num.heap, declaration("OneWayList")) == []
+
+
+class TestPolynomial:
+    def test_paper_example(self):
+        poly = Polynomial.from_terms([(451, 31), (10, 13), (4, 0)])
+        assert poly.terms() == [(451, 31), (10, 13), (4, 0)]
+        assert poly.degree() == 31
+        assert poly.evaluate(1) == 465
+
+    def test_scale_in_place(self):
+        poly = Polynomial.from_terms([(2, 3), (5, 1)])
+        poly.scale_in_place(4)
+        assert poly.to_dict() == {3: 8, 1: 20}
+
+    def test_add_and_multiply(self):
+        p = Polynomial.from_terms([(1, 2), (1, 0)])       # x^2 + 1
+        q = Polynomial.from_terms([(1, 1), (-1, 0)])      # x - 1
+        assert p.add(q).to_dict() == {2: 1, 1: 1}          # x^2 + x (constants cancel... )
+        product = p.multiply(q)
+        # (x^2+1)(x-1) = x^3 - x^2 + x - 1
+        assert product.to_dict() == {3: 1, 2: -1, 1: 1, 0: -1}
+
+    def test_derivative(self):
+        poly = Polynomial.from_terms([(3, 4), (2, 1), (7, 0)])
+        assert poly.derivative().to_dict() == {3: 12, 0: 2}
+
+    def test_zero_coefficients_dropped(self):
+        poly = Polynomial.from_terms([(0, 5), (3, 2), (-3, 2)])
+        assert poly.terms() == []
+        assert poly.evaluate(10) == 0
+
+    def test_evaluation_matches_horner(self):
+        rng = random.Random(0)
+        terms = [(rng.randint(-5, 5), e) for e in range(8)]
+        poly = Polynomial.from_terms(terms)
+        x = 3
+        assert poly.evaluate(x) == sum(c * x ** e for c, e in terms)
+
+
+class TestBinarySearchTree:
+    def test_insert_contains_inorder(self):
+        values = [50, 30, 70, 20, 40, 60, 80, 35]
+        tree = BinarySearchTree.from_iterable(values)
+        assert tree.in_order() == sorted(values)
+        assert all(tree.contains(v) for v in values)
+        assert not tree.contains(999)
+        assert tree.size() == len(values)
+        assert tree.height() >= 3
+
+    def test_move_left_subtree_preserves_validity(self):
+        tree = BinarySearchTree.from_iterable([8, 3, 10, 1, 6])
+        node3 = [r for r in tree.refs() if tree.heap.load(r, "data") == 3][0]
+        node10 = [r for r in tree.refs() if tree.heap.load(r, "data") == 10][0]
+        tree.move_left_subtree(node10, node3)
+        assert check_heap_against_declaration(tree.heap, declaration("BinTree")) == []
+
+
+class TestOrthogonalList:
+    def test_dense_round_trip(self):
+        dense = [[0, 2, 0, 1], [3, 0, 0, 0], [0, 0, 4, 5]]
+        matrix = OrthogonalListMatrix.from_dense(dense)
+        assert matrix.to_dense() == dense
+        assert matrix.nonzero_count() == 5
+
+    def test_get_set_and_update(self):
+        m = OrthogonalListMatrix(3, 3)
+        m.set(1, 1, 7)
+        m.set(1, 1, 9)
+        assert m.get(1, 1) == 9
+        assert m.get(0, 0) == 0
+        with pytest.raises(IndexError):
+            m.get(5, 0)
+
+    def test_row_and_column_traversals_are_sorted(self):
+        m = OrthogonalListMatrix(4, 4)
+        for r, c, v in [(2, 3, 1), (2, 0, 2), (2, 1, 3), (0, 1, 9), (3, 1, 8)]:
+            m.set(r, c, v)
+        assert m.row_values(2) == [2, 3, 1]          # by increasing column
+        assert m.col_values(1) == [9, 3, 8]          # by increasing row
+
+    def test_matvec_matches_dense(self):
+        rng = random.Random(3)
+        dense = [[rng.randint(0, 5) if rng.random() < 0.4 else 0 for _ in range(6)] for _ in range(5)]
+        m = OrthogonalListMatrix.from_dense(dense)
+        vec = [rng.randint(-2, 2) for _ in range(6)]
+        expected = [sum(dense[r][c] * vec[c] for c in range(6)) for r in range(5)]
+        assert m.matvec(vec) == expected
+
+    def test_scale_row_in_place(self):
+        m = OrthogonalListMatrix.from_dense([[1, 2], [3, 4]])
+        m.scale_row_in_place(0, 10)
+        assert m.to_dense() == [[10, 20], [3, 4]]
+
+    def test_shape_remains_valid_after_updates(self):
+        m = OrthogonalListMatrix.from_dense([[1, 0], [0, 2]])
+        m.set(0, 1, 5)
+        m.set(1, 0, 6)
+        assert check_heap_against_declaration(m.heap, declaration("OrthList")) == []
+
+
+class TestRangeTree:
+    POINTS = [(1, 9), (2, 4), (3, 7), (5, 1), (6, 6), (8, 3), (9, 8), (10, 2)]
+
+    def test_rectangle_queries_match_brute_force(self):
+        tree = RangeTree2D(self.POINTS)
+        rng = random.Random(1)
+        for _ in range(20):
+            x1, x2 = sorted((rng.randint(0, 11), rng.randint(0, 11)))
+            y1, y2 = sorted((rng.randint(0, 10), rng.randint(0, 10)))
+            expected = sorted(
+                p for p in self.POINTS if x1 <= p[0] <= x2 and y1 <= p[1] <= y2
+            )
+            assert tree.query_rect(x1, x2, y1, y2) == expected
+
+    def test_x_interval_query(self):
+        tree = RangeTree2D(self.POINTS)
+        assert tree.query_x(3, 8) == [(3, 7), (5, 1), (6, 6), (8, 3)]
+
+    def test_leaf_list_is_in_x_order(self):
+        tree = RangeTree2D(self.POINTS)
+        assert tree.primary_leaf_points() == sorted(self.POINTS)
+
+    def test_single_point_tree(self):
+        tree = RangeTree2D([(4, 4)])
+        assert tree.query_rect(0, 10, 0, 10) == [(4, 4)]
+        assert tree.query_rect(5, 10, 0, 10) == []
+
+
+class TestQuadTree:
+    def test_insert_and_count(self):
+        qt = PointRegionQuadTree.from_points([(0.1, 0.1), (-0.4, 0.6), (0.8, -0.2)])
+        assert qt.count == 3
+        assert len(qt.leaf_points()) == 3
+        assert qt.total_mass() == pytest.approx(3.0)
+
+    def test_rectangle_filter(self):
+        points = [(0.1, 0.1), (-0.4, 0.6), (0.8, -0.2), (0.3, 0.3)]
+        qt = PointRegionQuadTree.from_points(points)
+        inside = qt.points_in_rect(0.0, 0.5, 0.0, 0.5)
+        assert sorted(inside) == [(0.1, 0.1), (0.3, 0.3)]
+
+    def test_close_points_deepen_the_tree(self):
+        qt = PointRegionQuadTree.from_points([(0.100, 0.100), (0.101, 0.101)])
+        assert qt.depth() > 2
+        assert check_heap_against_declaration(qt.heap, declaration("QuadTree")) == []
