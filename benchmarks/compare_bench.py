@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Diff two ``BENCH_*.json`` snapshots and fail on performance regressions.
+
+Usage::
+
+    python benchmarks/compare_bench.py OLD.json NEW.json [--threshold 0.2]
+                                       [--key worklist_s]
+
+Scenarios are matched by name.  A scenario regresses when its timing key in
+NEW exceeds OLD by more than ``threshold`` (default 20%).  Scenarios present
+in only one file are reported but do not fail the comparison.  Exit status:
+0 when no regression, 1 on regression, 2 on usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read benchmark file {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def scenarios_by_name(payload: dict) -> dict[str, dict]:
+    return {row["scenario"]: row for row in payload.get("scenarios", [])}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="allowed relative slowdown before failing (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--key",
+        default="worklist_s",
+        help="per-scenario timing key to compare (default: worklist_s)",
+    )
+    args = parser.parse_args(argv)
+
+    old = scenarios_by_name(load(args.old))
+    new = scenarios_by_name(load(args.new))
+
+    regressions: list[str] = []
+    print(f"{'scenario':<16} {'old':>10} {'new':>10} {'delta':>8}")
+    for name in sorted(old.keys() | new.keys()):
+        old_row, new_row = old.get(name), new.get(name)
+        if old_row is None or new_row is None:
+            label = "only in old" if new_row is None else "only in new"
+            print(f"{name:<16} {label:>30}")
+            continue
+        old_t, new_t = old_row.get(args.key), new_row.get(args.key)
+        if old_t is None or new_t is None:
+            print(f"{name:<16} {'key ' + args.key + ' missing':>30}")
+            continue
+        delta = (new_t - old_t) / old_t if old_t else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  REGRESSION"
+            regressions.append(f"{name}: {old_t:.4f}s -> {new_t:.4f}s ({delta:+.1%})")
+        print(f"{name:<16} {old_t:>9.4f}s {new_t:>9.4f}s {delta:>+7.1%}{marker}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} scenario(s) slower by more than "
+            f"{args.threshold:.0%} on {args.key!r}:"
+        )
+        for line in regressions:
+            print(f"  - {line}")
+        return 1
+    print(f"\nOK: no scenario slower by more than {args.threshold:.0%} on {args.key!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

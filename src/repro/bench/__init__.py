@@ -5,7 +5,9 @@
 * :mod:`repro.bench.figures` — the in-text path matrices and precision/
   validation demonstrations (experiments E3–E6),
 * :mod:`repro.bench.ablation` — the speedup-loss attribution sweeps (E8) and
-  the strip-mine ablation (E7).
+  the strip-mine ablation (E7),
+* :mod:`repro.bench.stress` — generated stress programs for the path-matrix
+  fixpoint performance suite (``benchmarks/test_perf_pathmatrix.py``).
 
 ``benchmarks/`` contains one pytest-benchmark target per experiment, each a
 thin wrapper over the functions here; ``examples/nbody_speedup_table.py``
@@ -32,6 +34,11 @@ from repro.bench.figures import (
     bhl1_pathmatrix_figure,
     precision_comparison,
     validation_trace_figure,
+)
+from repro.bench.stress import (
+    deep_program,
+    random_program,
+    wide_program,
 )
 from repro.bench.ablation import (
     AblationResult,
@@ -62,4 +69,7 @@ __all__ = [
     "scheduling_ablation",
     "sync_cost_ablation",
     "subtree_parallelism_ablation",
+    "wide_program",
+    "deep_program",
+    "random_program",
 ]

@@ -1,0 +1,155 @@
+"""Generated stress programs for the path-matrix performance suite.
+
+The paper's worked examples have a handful of pointer variables and a couple
+of blocks; the fixpoint core is supposed to scale far beyond that ("as fast
+as the hardware allows").  This module generates toy-language programs that
+stress the two axes that dominate solver cost:
+
+* **wide** programs — many simultaneously live pointer variables, so every
+  matrix operation touches a large entry set;
+* **deep** programs — long chains of nested loops and branches, so the
+  round-robin engine pays many whole-CFG sweeps while the worklist engine
+  only revisits the region that changed;
+* **random** programs — small, seeded, arbitrary statement mixes used by the
+  golden-equivalence property tests.
+
+All programs use the paper's ``ListNode`` ADDS declaration (uniquely-forward
+``next``), so both precise and conservative rules get exercised.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.adds.library import merged_into
+from repro.lang.ast_nodes import Program
+
+
+def wide_program_source(num_vars: int = 50, scalar_run: int = 4) -> str:
+    """A single loop over a list with ``num_vars`` live pointer variables.
+
+    Every variable holds a position somewhere down the list, so the matrix
+    carries O(num_vars^2) path facts.  Between pointer updates sit runs of
+    data-field stores (``p->coef = ...``) that a copy-on-write transfer can
+    skip for free.
+    """
+    lines = ["function stress(head)", "{"]
+    for i in range(num_vars):
+        lines.append(f"  var p{i};")
+    lines.append("  p0 = head;")
+    for i in range(1, num_vars):
+        if i % 7 == 3:
+            lines.append(f"  p{i} = p{i - 1};")
+        else:
+            lines.append(f"  p{i} = p{i - 1}->next;")
+        for s in range(scalar_run):
+            lines.append(f"  p{i}->coef = p{i}->coef + {s};")
+    lines.append("  while p0 <> NULL")
+    lines.append("  {")
+    lines.append("    p0->coef = p0->coef * 2;")
+    lines.append(f"    p{num_vars - 1} = p{num_vars - 1}->next;")
+    lines.append("    p0 = p0->next;")
+    lines.append("  }")
+    lines.append("  return head;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def deep_program_source(depth: int = 8, segment: int = 6, num_vars: int = 12) -> str:
+    """``depth`` nested traversal loops with branchy straight-line segments."""
+    num_vars = max(num_vars, depth + 2)
+    lines = ["function deep(head)", "{"]
+    for i in range(num_vars):
+        lines.append(f"  var q{i};")
+    lines.append("  q0 = head;")
+    for i in range(1, num_vars - depth):
+        lines.append(f"  q{i} = q{i - 1}->next;")
+
+    def indent(level: int) -> str:
+        return "  " * (level + 1)
+
+    def emit_loop(level: int) -> None:
+        var = f"q{num_vars - depth + level}"
+        prev = f"q{num_vars - depth + level - 1}" if level > 0 else "q0"
+        pad = indent(level)
+        lines.append(f"{pad}{var} = {prev};")
+        lines.append(f"{pad}while {var} <> NULL")
+        lines.append(f"{pad}{{")
+        inner = indent(level + 1)
+        for s in range(segment):
+            lines.append(f"{inner}{var}->coef = {var}->coef + {s};")
+        lines.append(f"{inner}if {var}->coef > 10")
+        lines.append(f"{inner}{{ {var}->exp = 0; }}")
+        lines.append(f"{inner}else")
+        lines.append(f"{inner}{{ {var}->exp = 1; }}")
+        if level + 1 < depth:
+            emit_loop(level + 1)
+        lines.append(f"{inner}{var} = {var}->next;")
+        lines.append(f"{pad}}}")
+
+    emit_loop(0)
+    lines.append("  return head;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def random_program_source(
+    rng: random.Random,
+    num_vars: int = 4,
+    num_statements: int = 14,
+    max_depth: int = 2,
+) -> str:
+    """A small random program over ``num_vars`` pointer variables.
+
+    Statements cover every transfer rule: nil/new/copy assignments, acyclic
+    field loads, pointer-field stores (which trigger abstraction
+    validation), data stores, and nested ``if``/``while`` structures.
+    """
+    names = [f"v{i}" for i in range(num_vars)]
+
+    def statement(depth: int) -> list[str]:
+        pad = "  " * (depth + 1)
+        a, b = rng.choice(names), rng.choice(names)
+        kind = rng.randrange(10)
+        if kind == 0:
+            return [f"{pad}{a} = NULL;"]
+        if kind == 1:
+            return [f"{pad}{a} = new ListNode;"]
+        if kind == 2:
+            return [f"{pad}{a} = {b};"]
+        if kind in (3, 4):
+            return [f"{pad}{a} = {b}->next;"]
+        if kind == 5:
+            return [f"{pad}{a}->next = {b};"]
+        if kind == 6:
+            return [f"{pad}{a}->coef = {a}->coef + 1;"]
+        if kind == 7 and depth < max_depth:
+            body = statement(depth + 1) + statement(depth + 1)
+            return [f"{pad}if {a} <> NULL", f"{pad}{{", *body, f"{pad}}}"]
+        if kind == 8 and depth < max_depth:
+            body = statement(depth + 1) + [f"{pad}  {a} = {a}->next;"]
+            return [f"{pad}while {a} <> NULL", f"{pad}{{", *body, f"{pad}}}"]
+        return [f"{pad}{a}->exp = 2;"]
+
+    lines = [f"function chaos({names[0]})", "{"]
+    for name in names[1:]:
+        lines.append(f"  var {name};")
+        lines.append(f"  {name} = {names[0]};")
+    for _ in range(num_statements):
+        lines.extend(statement(0))
+    lines.append(f"  return {names[0]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def wide_program(num_vars: int = 50, scalar_run: int = 4) -> Program:
+    return merged_into(wide_program_source(num_vars, scalar_run), "ListNode")
+
+
+def deep_program(depth: int = 8, segment: int = 6, num_vars: int = 12) -> Program:
+    return merged_into(deep_program_source(depth, segment, num_vars), "ListNode")
+
+
+def random_program(seed: int, **kwargs) -> Program:
+    rng = random.Random(seed)
+    return merged_into(random_program_source(rng, **kwargs), "ListNode")

@@ -81,18 +81,30 @@ class CFG:
         return self.blocks[index]
 
     def reverse_postorder(self) -> list[int]:
-        """Return block indices in reverse postorder from the entry block."""
-        visited: set[int] = set()
+        """Return block indices in reverse postorder from the entry block.
+
+        Iterative DFS so that very deep CFGs (e.g. the generated stress
+        programs of the performance benchmarks) do not exhaust the Python
+        recursion limit.
+        """
+        visited: set[int] = {self.entry}
         order: list[int] = []
-
-        def dfs(idx: int) -> None:
-            visited.add(idx)
-            for succ in self.blocks[idx].successors:
+        stack: list[tuple[int, Iterator[int]]] = [
+            (self.entry, iter(self.blocks[self.entry].successors))
+        ]
+        while stack:
+            idx, successors = stack[-1]
+            nxt = None
+            for succ in successors:
                 if succ not in visited:
-                    dfs(succ)
-            order.append(idx)
-
-        dfs(self.entry)
+                    nxt = succ
+                    break
+            if nxt is None:
+                order.append(idx)
+                stack.pop()
+            else:
+                visited.add(nxt)
+                stack.append((nxt, iter(self.blocks[nxt].successors)))
         order.reverse()
         # include unreachable blocks at the end so analyses stay total
         for blk in self.blocks:
@@ -103,20 +115,27 @@ class CFG:
     def loop_headers(self) -> list[int]:
         """Blocks that are targets of a back edge (approximate, DFS-based)."""
         headers: set[int] = set()
-        visited: set[int] = set()
-        stack: set[int] = set()
-
-        def dfs(idx: int) -> None:
-            visited.add(idx)
-            stack.add(idx)
-            for succ in self.blocks[idx].successors:
-                if succ in stack:
+        visited: set[int] = {self.entry}
+        onstack: set[int] = {self.entry}
+        stack: list[tuple[int, Iterator[int]]] = [
+            (self.entry, iter(self.blocks[self.entry].successors))
+        ]
+        while stack:
+            idx, successors = stack[-1]
+            nxt = None
+            for succ in successors:
+                if succ in onstack:
                     headers.add(succ)
                 elif succ not in visited:
-                    dfs(succ)
-            stack.discard(idx)
-
-        dfs(self.entry)
+                    nxt = succ
+                    break
+            if nxt is None:
+                onstack.discard(idx)
+                stack.pop()
+            else:
+                visited.add(nxt)
+                onstack.add(nxt)
+                stack.append((nxt, iter(self.blocks[nxt].successors)))
         return sorted(headers)
 
     def statement_count(self) -> int:

@@ -32,11 +32,17 @@ Modules:
 """
 
 from repro.pathmatrix.paths import Relation, PathEntry, EMPTY_ENTRY
-from repro.pathmatrix.matrix import PathMatrix
+from repro.pathmatrix.matrix import PathMatrix, cellwise_equivalent
 from repro.pathmatrix.validation import Violation, ValidationState
-from repro.pathmatrix.rules import TransferContext, apply_statement
+from repro.pathmatrix.rules import (
+    TransferContext,
+    apply_block,
+    apply_statement,
+    statement_touches_matrix,
+)
 from repro.pathmatrix.interproc import FunctionSummary, summarize_program
 from repro.pathmatrix.analysis import (
+    AnalysisError,
     AnalysisResult,
     PathMatrixAnalysis,
     analyze_function,
@@ -44,18 +50,31 @@ from repro.pathmatrix.analysis import (
     LoopDependenceReport,
 )
 from repro.pathmatrix.alias import AliasOracle, AliasAnswer
-from repro.pathmatrix.baseline import ConservativeOracle, conservative_matrix
+from repro.pathmatrix.baseline import (
+    ConservativeOracle,
+    baseline_roundrobin,
+    conservative_matrix,
+)
 from repro.pathmatrix.klimited import KLimitedAnalysis, KLimitedOracle, StorageGraph
+from repro.pathmatrix.worklist import SolveStats, solve_roundrobin, solve_worklist
 
 __all__ = [
     "Relation",
     "PathEntry",
     "EMPTY_ENTRY",
     "PathMatrix",
+    "cellwise_equivalent",
     "Violation",
     "ValidationState",
     "TransferContext",
+    "apply_block",
     "apply_statement",
+    "statement_touches_matrix",
+    "AnalysisError",
+    "SolveStats",
+    "solve_worklist",
+    "solve_roundrobin",
+    "baseline_roundrobin",
     "FunctionSummary",
     "summarize_program",
     "AnalysisResult",

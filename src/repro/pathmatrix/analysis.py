@@ -36,12 +36,23 @@ from repro.lang.ast_nodes import (
 from repro.lang.cfg import CFG, build_cfg
 from repro.lang.typecheck import check_program
 from repro.pathmatrix.interproc import FunctionSummary, summarize_program
-from repro.pathmatrix.matrix import PathMatrix
+from repro.pathmatrix.matrix import PathMatrix, cellwise_equivalent
 from repro.pathmatrix.paths import PathEntry
-from repro.pathmatrix.rules import TransferContext, apply_statement
+from repro.pathmatrix.rules import TransferContext, apply_block, apply_statement
+from repro.pathmatrix.worklist import solve_roundrobin, solve_worklist
 
 
 MAX_FIXPOINT_ITERATIONS = 64
+
+
+class AnalysisError(RuntimeError):
+    """A path-matrix analysis could not be completed.
+
+    Raised for failures the analysis knows how to classify (e.g. a function
+    whose fixpoint diverges past the iteration cap).  Programming errors
+    inside the analysis deliberately propagate as their original exception
+    types so they surface in tests instead of being swallowed.
+    """
 
 
 @dataclass
@@ -53,7 +64,13 @@ class AnalysisResult:
     ctx: TransferContext
     entry_matrices: dict[int, PathMatrix] = field(default_factory=dict)
     exit_matrices: dict[int, PathMatrix] = field(default_factory=dict)
+    #: whole-CFG sweeps until convergence (both engines; the worklist engine
+    #: skips stable blocks within a sweep — see ``blocks_transferred``)
     iterations: int = 0
+    #: total transfer-function applications — comparable across solvers
+    blocks_transferred: int = 0
+    #: which fixpoint engine produced this result
+    solver: str = "worklist"
 
     def matrix_at_entry(self, block_index: int) -> PathMatrix:
         return self.entry_matrices[block_index]
@@ -62,7 +79,13 @@ class AnalysisResult:
         return self.exit_matrices[block_index]
 
     def final_matrix(self) -> PathMatrix:
-        return self.exit_matrices[self.cfg.exit]
+        try:
+            return self.exit_matrices[self.cfg.exit]
+        except KeyError:
+            raise AnalysisError(
+                f"analysis of {self.function!r} never reached the exit block "
+                "(the function may not terminate normally)"
+            ) from None
 
     def matrix_before_loop(self, loop: While) -> PathMatrix:
         """The matrix at the entry of ``loop``'s header block."""
@@ -157,58 +180,76 @@ class PathMatrixAnalysis:
 
     # -- the fixed point -----------------------------------------------------
     def analyze_function(
-        self, name: str, initial: PathMatrix | None = None
+        self,
+        name: str,
+        initial: PathMatrix | None = None,
+        solver: str = "worklist",
     ) -> AnalysisResult:
+        """Run the fixpoint for one function.
+
+        ``solver`` selects the engine: ``"worklist"`` (default, fast) or
+        ``"roundrobin"`` (the seed's sweep-everything engine, retained as the
+        golden/performance baseline — it re-applies the original
+        copy-per-statement transfer and dense matrix comparison).
+        """
         func = self.program.function_named(name)
         if func is None:
             raise KeyError(f"no function named {name!r}")
         ctx = self._context_for(func)
         cfg = build_cfg(func)
         init = initial.copy() if initial is not None else self.initial_matrix(func, ctx)
-        result = AnalysisResult(function=name, cfg=cfg, ctx=ctx)
+        result = AnalysisResult(function=name, cfg=cfg, ctx=ctx, solver=solver)
 
-        order = cfg.reverse_postorder()
-        entry: dict[int, PathMatrix] = {cfg.entry: init}
-        exit_: dict[int, PathMatrix] = {}
+        join = PathMatrix.join
+        if solver == "worklist":
+            def transfer(block, state):
+                return apply_block(state, block.statements, ctx)
 
-        for iteration in range(MAX_FIXPOINT_ITERATIONS):
-            changed = False
-            for idx in order:
-                block = cfg.block(idx)
-                if idx == cfg.entry:
-                    block_in = init
-                else:
-                    preds = [exit_[p] for p in block.predecessors if p in exit_]
-                    if not preds:
-                        continue
-                    block_in = preds[0]
-                    for other in preds[1:]:
-                        block_in = block_in.join(other)
-                old_in = entry.get(idx)
-                if old_in is None or not old_in.equivalent(block_in):
-                    entry[idx] = block_in
-                    changed = True
-                else:
-                    block_in = old_in
-                block_out = block_in
+            entry, exit_, stats = solve_worklist(
+                cfg, init, transfer, join, PathMatrix.equivalent,
+                max_iterations=MAX_FIXPOINT_ITERATIONS,
+            )
+        elif solver == "roundrobin":
+            def transfer(block, state):
                 for stmt in block.statements:
-                    block_out = apply_statement(block_out, stmt, ctx)
-                old_out = exit_.get(idx)
-                if old_out is None or not old_out.equivalent(block_out):
-                    exit_[idx] = block_out
-                    changed = True
-            result.iterations = iteration + 1
-            if not changed:
-                break
+                    state = apply_statement(state, stmt, ctx)
+                return state
 
+            entry, exit_, stats = solve_roundrobin(
+                cfg, init, transfer, join, cellwise_equivalent,
+                max_iterations=MAX_FIXPOINT_ITERATIONS,
+            )
+        else:
+            raise ValueError(f"unknown solver {solver!r}")
+
+        result.iterations = stats.iterations
+        result.blocks_transferred = stats.blocks_transferred
         result.entry_matrices = entry
         result.exit_matrices = exit_
         return result
 
-    def analyze_all(self) -> dict[str, AnalysisResult]:
-        return {f.name: self.analyze_function(f.name) for f in self.program.functions}
+    def analyze_all(self, solver: str = "worklist") -> dict[str, AnalysisResult]:
+        return {
+            f.name: self.analyze_function(f.name, solver=solver)
+            for f in self.program.functions
+        }
 
     # -- abstraction-preservation of whole functions -----------------------------
+    def _transitive_callees(self, name: str) -> set[str]:
+        """Every function reachable from ``name`` through the call graph."""
+        seen: set[str] = set()
+        summary = self.summaries.get(name)
+        stack = list(summary.callees) if summary is not None else []
+        while stack:
+            callee = stack.pop()
+            if callee in seen:
+                continue
+            seen.add(callee)
+            callee_summary = self.summaries.get(callee)
+            if callee_summary is not None:
+                stack.extend(callee_summary.callees)
+        return seen
+
     def _mark_abstraction_preserving_summaries(self) -> None:
         """Mark summaries of functions that restore every abstraction they break.
 
@@ -217,26 +258,48 @@ class PathMatrixAnalysis:
         inside the body — e.g. the subtree sharing during ``insert_particle``
         — are fine.)  Recursive dependencies are handled by first assuming
         preservation and then invalidating until a fixed point.
+
+        A function's verdict only depends on its own body and on the
+        ``preserves_abstraction`` flags of its (transitive) callees, so
+        verdicts are cached across rounds and recomputed only when a callee's
+        flag flipped in the previous round.  Only :class:`AnalysisError` is
+        treated as "does not preserve"; unexpected exceptions propagate so
+        real bugs surface.
         """
         for summary in self.summaries.values():
             summary.preserves_abstraction = True
+        shape_changers = [
+            func
+            for func in self.program.functions
+            if (summary := self.summaries.get(func.name)) is not None
+            and summary.rearranges_shape
+        ]
+        verdicts: dict[str, bool] = {}
+        changed_last: set[str] | None = None  # None: first round, analyze everything
         for _ in range(3):
-            changed = False
-            for func in self.program.functions:
-                summary = self.summaries.get(func.name)
-                if summary is None or not summary.rearranges_shape:
-                    continue
-                try:
-                    result = self.analyze_function(func.name)
-                except Exception:
-                    ok = False
-                else:
-                    ok = result.final_matrix().validation.is_valid()
+            changed: set[str] = set()
+            for func in shape_changers:
+                summary = self.summaries[func.name]
+                stale = (
+                    changed_last is None
+                    or func.name not in verdicts
+                    or bool(self._transitive_callees(func.name) & changed_last)
+                )
+                if stale:
+                    try:
+                        result = self.analyze_function(func.name)
+                    except AnalysisError:
+                        ok = False
+                    else:
+                        ok = result.final_matrix().validation.is_valid()
+                    verdicts[func.name] = ok
+                ok = verdicts[func.name]
                 if summary.preserves_abstraction != ok:
                     summary.preserves_abstraction = ok
-                    changed = True
+                    changed.add(func.name)
             if not changed:
                 break
+            changed_last = changed
 
 
 # ---------------------------------------------------------------------------

@@ -16,6 +16,27 @@ from repro.pathmatrix.alias import AccessPath, AliasAnswer
 from repro.pathmatrix.matrix import PathMatrix
 
 
+def baseline_roundrobin(
+    program: Program,
+    function_name: str,
+    use_adds: bool = True,
+    initial: PathMatrix | None = None,
+):
+    """Run the seed's round-robin fixpoint engine on one function.
+
+    This is the reference implementation the worklist engine is validated
+    (golden-equivalence tests) and benchmarked against: every block is
+    re-transferred on every sweep, statements copy the matrix individually,
+    and convergence is detected with the dense cell-by-cell comparison.
+    Returns the same :class:`~repro.pathmatrix.analysis.AnalysisResult`
+    shape as the default engine.
+    """
+    from repro.pathmatrix.analysis import PathMatrixAnalysis
+
+    analysis = PathMatrixAnalysis(program, use_adds=use_adds)
+    return analysis.analyze_function(function_name, initial=initial, solver="roundrobin")
+
+
 def conservative_matrix(variables: list[str]) -> PathMatrix:
     """A path matrix with ``=?`` in every off-diagonal entry.
 

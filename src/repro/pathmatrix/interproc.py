@@ -87,16 +87,23 @@ class FunctionSummary:
         return "\n".join(parts)
 
 
-def _is_pointer_field(program: Program, field_name: str) -> bool:
+def _pointer_field_names(program: Program) -> set[str]:
+    """Names of all pointer fields declared by any record type (precomputed
+    once per program instead of rescanning the type list per statement)."""
+    names: set[str] = set()
     for decl in program.types:
-        fdecl = decl.field_named(field_name)
-        if fdecl is not None and fdecl.is_pointer:
-            return True
-    return False
+        for fdecl in decl.fields:
+            if fdecl.is_pointer:
+                names.add(fdecl.name)
+    return names
 
 
-def _summarize_one(program: Program, func: FunctionDecl) -> FunctionSummary:
+def _summarize_one(
+    program: Program, func: FunctionDecl, pointer_fields: set[str] | None = None
+) -> FunctionSummary:
     """Direct (non-transitive) effects of ``func``."""
+    if pointer_fields is None:
+        pointer_fields = _pointer_field_names(program)
     summary = FunctionSummary(name=func.name)
     param_names = {p.name: i for i, p in enumerate(func.params)}
     returns_values: list[Expr] = []
@@ -104,7 +111,7 @@ def _summarize_one(program: Program, func: FunctionDecl) -> FunctionSummary:
 
     for stmt in iter_statements(func.body):
         if isinstance(stmt, FieldAssign):
-            if _is_pointer_field(program, stmt.field):
+            if stmt.field in pointer_fields:
                 summary.pointer_fields_written.add(stmt.field)
             else:
                 summary.data_fields_written.add(stmt.field)
@@ -115,6 +122,7 @@ def _summarize_one(program: Program, func: FunctionDecl) -> FunctionSummary:
         if isinstance(stmt, FieldAssign) and isinstance(stmt.base, Name):
             if stmt.base.ident in param_names:
                 summary.pointer_params.add(param_names[stmt.base.ident])
+        # single AST walk collecting both field accesses and calls
         for node in stmt.walk():
             if isinstance(node, FieldAccess):
                 is_store_target = (
@@ -126,6 +134,8 @@ def _summarize_one(program: Program, func: FunctionDecl) -> FunctionSummary:
                     summary.fields_read.add(node.field)
                 if isinstance(node.base, Name) and node.base.ident in param_names:
                     summary.pointer_params.add(param_names[node.base.ident])
+            elif isinstance(node, Call):
+                summary.callees.add(node.func)
         if isinstance(stmt, Assign):
             if isinstance(stmt.value, New):
                 summary.allocates = True
@@ -138,9 +148,6 @@ def _summarize_one(program: Program, func: FunctionDecl) -> FunctionSummary:
                     locally_fresh.discard(stmt.target)
         if isinstance(stmt, Return) and stmt.value is not None:
             returns_values.append(stmt.value)
-        for node in stmt.walk():
-            if isinstance(node, Call):
-                summary.callees.add(node.func)
 
     # classify the return value
     if returns_values:
@@ -183,7 +190,10 @@ def _call_argument_map(program: Program) -> dict[str, list[tuple[str, dict[int, 
 
 def summarize_program(program: Program) -> dict[str, FunctionSummary]:
     """Compute transitive side-effect summaries for every function."""
-    summaries = {f.name: _summarize_one(program, f) for f in program.functions}
+    pointer_fields = _pointer_field_names(program)
+    summaries = {
+        f.name: _summarize_one(program, f, pointer_fields) for f in program.functions
+    }
     call_maps = _call_argument_map(program)
 
     # propagate callee effects to callers until a fixed point

@@ -280,40 +280,34 @@ class KLimitedAnalysis:
 
     # -- fixed point ----------------------------------------------------------------
     def analyze_function(self, name: str) -> dict[int, StorageGraph]:
-        """Return the storage graph at every basic-block exit."""
+        """Return the storage graph at every basic-block exit.
+
+        Driven by the shared worklist engine (see
+        :mod:`repro.pathmatrix.worklist`): only blocks whose inputs changed
+        are re-transferred.
+        """
+        from repro.pathmatrix.worklist import solve_worklist
+
         func = self.program.function_named(name)
         if func is None:
             raise KeyError(f"no function named {name!r}")
         pointer_vars = self._pointer_vars(func)
         cfg = build_cfg(func)
         init = self.initial_state(func)
-        entry: dict[int, StorageGraph] = {cfg.entry: init}
-        exit_: dict[int, StorageGraph] = {}
-        order = cfg.reverse_postorder()
-        for _ in range(MAX_FIXPOINT_ITERATIONS):
-            changed = False
-            for idx in order:
-                block = cfg.block(idx)
-                if idx == cfg.entry:
-                    block_in = init
-                else:
-                    preds = [exit_[p] for p in block.predecessors if p in exit_]
-                    if not preds:
-                        continue
-                    block_in = preds[0]
-                    for other in preds[1:]:
-                        block_in = block_in.join(other)
-                if idx not in entry or entry[idx] != block_in:
-                    entry[idx] = block_in
-                    changed = True
-                block_out = block_in
-                for stmt in block.statements:
-                    block_out = self.transfer(block_out, stmt, pointer_vars)
-                if idx not in exit_ or exit_[idx] != block_out:
-                    exit_[idx] = block_out
-                    changed = True
-            if not changed:
-                break
+
+        def transfer(block, state: StorageGraph) -> StorageGraph:
+            for stmt in block.statements:
+                state = self.transfer(state, stmt, pointer_vars)
+            return state
+
+        _entry, exit_, _stats = solve_worklist(
+            cfg,
+            init,
+            transfer,
+            StorageGraph.join,
+            StorageGraph.__eq__,
+            max_iterations=MAX_FIXPOINT_ITERATIONS,
+        )
         return exit_
 
     def final_state(self, name: str) -> StorageGraph:

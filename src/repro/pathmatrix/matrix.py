@@ -17,11 +17,30 @@ from repro.pathmatrix.validation import ValidationState
 
 
 class PathMatrix:
-    """Pairwise relationships between live pointer variables at one program point."""
+    """Pairwise relationships between live pointer variables at one program point.
+
+    Internally the matrix is sparse: ``_entries`` maps ``(row, col)`` pairs to
+    non-empty interned :class:`PathEntry` values, and ``_index`` is a
+    *lazily materialized* per-variable adjacency index (variable -> set of
+    keys it participates in) so killing a variable touches only its own
+    relationships instead of rebuilding the whole entries dict.  The index is
+    ``None`` until a row/column kill first needs it (matrices produced by
+    ``join`` and consumed by comparisons never pay for it); once
+    materialized it is kept up to date by :meth:`set`.  Invariants: no
+    diagonal keys, no empty entries, no entries involving a nil variable,
+    and every key's variables appear in :attr:`variables`.
+    """
+
+    __slots__ = (
+        "variables", "_var_set", "_entries", "_index", "_kills", "nil_vars", "validation",
+    )
 
     def __init__(self, variables: Iterable[str] = ()):
         self.variables: list[str] = list(dict.fromkeys(variables))
+        self._var_set: set[str] = set(self.variables)
         self._entries: dict[tuple[str, str], PathEntry] = {}
+        self._index: dict[str, set[tuple[str, str]]] | None = None
+        self._kills: int = 0
         #: variables currently known to be NULL (their rows/columns are empty)
         self.nil_vars: set[str] = set()
         #: abstraction-validation bookkeeping (shared shape violations)
@@ -29,23 +48,39 @@ class PathMatrix:
 
     # -- structural operations ---------------------------------------------
     def copy(self) -> "PathMatrix":
-        new = PathMatrix(self.variables)
+        new = PathMatrix.__new__(PathMatrix)
+        new.variables = list(self.variables)
+        new._var_set = set(self._var_set)
         new._entries = dict(self._entries)
+        # the copy re-materializes the index on demand; copying it eagerly
+        # would often be wasted work (e.g. copies consumed only by queries)
+        new._index = None
+        new._kills = 0
         new.nil_vars = set(self.nil_vars)
         new.validation = self.validation.copy()
         return new
 
+    def _materialized_index(self) -> dict[str, set[tuple[str, str]]]:
+        index = self._index
+        if index is None:
+            index = {}
+            for key in self._entries:
+                index.setdefault(key[0], set()).add(key)
+                index.setdefault(key[1], set()).add(key)
+            self._index = index
+        return index
+
     def ensure_variable(self, name: str) -> None:
-        if name not in self.variables:
+        if name not in self._var_set:
             self.variables.append(name)
+            self._var_set.add(name)
 
     def remove_variable(self, name: str) -> None:
-        if name in self.variables:
+        if name in self._var_set:
             self.variables.remove(name)
+            self._var_set.discard(name)
         self.nil_vars.discard(name)
-        self._entries = {
-            key: entry for key, entry in self._entries.items() if name not in key
-        }
+        self.clear_row_and_column(name)
 
     # -- entry accessors -------------------------------------------------------
     def get(self, row: str, col: str) -> PathEntry:
@@ -61,19 +96,49 @@ class PathMatrix:
         self.ensure_variable(col)
         if row == col:
             return
+        key = (row, col)
+        index = self._index
         if entry.is_empty():
-            self._entries.pop((row, col), None)
+            if self._entries.pop(key, None) is not None and index is not None:
+                index[row].discard(key)
+                index[col].discard(key)
         else:
-            self._entries[(row, col)] = entry
+            if index is not None and key not in self._entries:
+                index.setdefault(row, set()).add(key)
+                index.setdefault(col, set()).add(key)
+            self._entries[key] = entry
 
     def add_relation(self, row: str, col: str, relation: Relation) -> None:
         self.set(row, col, self.get(row, col).add(relation))
 
     def clear_row_and_column(self, name: str) -> None:
-        """Remove every relationship involving ``name`` (used when killing a var)."""
-        self._entries = {
-            key: entry for key, entry in self._entries.items() if name not in key
-        }
+        """Remove every relationship involving ``name`` (used when killing a var).
+
+        The first kill on a freshly copied matrix uses a direct scan (cheaper
+        than building the adjacency index for a single use); repeated kills
+        materialize the index once and then run in O(degree).
+        """
+        entries = self._entries
+        if not entries:
+            return
+        index = self._index
+        if index is None:
+            if self._kills == 0:
+                self._kills = 1
+                dead = [key for key in entries if key[0] == name or key[1] == name]
+                for key in dead:
+                    del entries[key]
+                return
+            index = self._materialized_index()
+        keys = index.pop(name, None)
+        if not keys:
+            return
+        for key in keys:
+            del entries[key]
+            other = key[1] if key[0] == name else key[0]
+            bucket = index.get(other)
+            if bucket is not None:
+                bucket.discard(key)
 
     def set_nil(self, name: str) -> None:
         self.ensure_variable(name)
@@ -108,13 +173,19 @@ class PathMatrix:
             return a not in self.nil_vars
         if a in self.nil_vars or b in self.nil_vars:
             return False
-        if a not in self.variables or b not in self.variables:
+        if a not in self._var_set or b not in self._var_set:
             return True  # unknown variables: be conservative
         return self.get(a, b).may_alias or self.get(b, a).may_alias
 
     def must_alias(self, a: str, b: str) -> bool:
+        # A "must" answer is a proof, so unknown or nil operands yield False
+        # (mirroring may_alias, which is conservative in the other direction).
+        if a in self.nil_vars or b in self.nil_vars:
+            return False
+        if a not in self._var_set or b not in self._var_set:
+            return False
         if a == b:
-            return a not in self.nil_vars
+            return True
         return self.get(a, b).must_alias or self.get(b, a).must_alias
 
     def definitely_not_alias(self, a: str, b: str) -> bool:
@@ -140,37 +211,59 @@ class PathMatrix:
 
     # -- lattice operations ---------------------------------------------------------
     def join(self, other: "PathMatrix") -> "PathMatrix":
-        """Control-flow join (least upper bound) of two matrices."""
-        result = PathMatrix(list(dict.fromkeys(self.variables + other.variables)))
+        """Control-flow join (least upper bound) of two matrices.
+
+        Only the union of the two sparse entry sets is visited: a cell empty
+        on both sides joins to the empty entry, so the dense double loop over
+        all variable pairs is unnecessary.
+        """
+        result = PathMatrix(dict.fromkeys(self.variables + other.variables))
         # a variable is nil only if nil on both incoming paths
         result.nil_vars = self.nil_vars & other.nil_vars
         half_nil = (self.nil_vars | other.nil_vars) - result.nil_vars
-        for row in result.variables:
-            for col in result.variables:
-                if row == col:
-                    continue
-                joined = self.get(row, col).join(other.get(row, col))
-                # a variable nil on one path only: its relations are merely possible
-                if row in half_nil or col in half_nil:
-                    joined = joined.weakened()
-                result.set(row, col, joined)
+        mine = self._entries
+        theirs = other._entries
+        entries = result._entries
+        theirs_get = theirs.get
+        for key, ea in mine.items():
+            eb = theirs_get(key)
+            if eb is ea:  # interned entries: identical cells join to themselves
+                joined = ea
+            elif eb is not None:
+                joined = ea.join(eb)
+            else:
+                joined = ea.join(EMPTY_ENTRY)
+            # a variable nil on one path only: its relations are merely possible
+            if half_nil and (key[0] in half_nil or key[1] in half_nil):
+                joined = joined.weakened()
+            if joined.relations:
+                entries[key] = joined
+        for key, eb in theirs.items():
+            if key in mine:
+                continue
+            joined = EMPTY_ENTRY.join(eb)
+            if half_nil and (key[0] in half_nil or key[1] in half_nil):
+                joined = joined.weakened()
+            if joined.relations:
+                entries[key] = joined
         result.validation = self.validation.join(other.validation)
         return result
 
     def equivalent(self, other: "PathMatrix") -> bool:
-        if set(self.variables) != set(other.variables):
+        """Same facts at this program point (cheap structural comparison).
+
+        Because ``_entries`` is normalized (sparse, no empties, no diagonal)
+        and entries are interned, comparing the dicts directly is equivalent
+        to the dense cell-by-cell scan but runs in O(stored entries) with
+        pointer-equality on each cell.
+        """
+        if self._var_set != other._var_set:
             return False
         if self.nil_vars != other.nil_vars:
             return False
         if not self.validation.equivalent(other.validation):
             return False
-        for row in self.variables:
-            for col in self.variables:
-                if row == col:
-                    continue
-                if self.get(row, col) != other.get(row, col):
-                    return False
-        return True
+        return self._entries == other._entries
 
     # -- conservative construction ----------------------------------------------
     @staticmethod
@@ -209,3 +302,25 @@ class PathMatrix:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"PathMatrix(vars={self.variables}, entries={len(self._entries)})"
+
+
+def cellwise_equivalent(a: PathMatrix, b: PathMatrix) -> bool:
+    """The seed's dense O(V^2) equivalence scan, retained verbatim.
+
+    The round-robin baseline solver uses this comparison so that benchmark
+    numbers against it reflect the original engine's costs; it must always
+    agree with the fast :meth:`PathMatrix.equivalent`.
+    """
+    if set(a.variables) != set(b.variables):
+        return False
+    if a.nil_vars != b.nil_vars:
+        return False
+    if not a.validation.equivalent(b.validation):
+        return False
+    for row in a.variables:
+        for col in a.variables:
+            if row == col:
+                continue
+            if a.get(row, col) != b.get(row, col):
+                return False
+    return True

@@ -19,7 +19,13 @@ notation    meaning
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+
+#: Safety valve for the intern/memo tables.  The relation universe of a real
+#: program is tiny (kinds x fields x 2 x 2), so in practice the caches stay
+#: far below this; the cap only guards against pathological generated inputs.
+_MEMO_LIMIT = 1 << 18
 
 
 @dataclass(frozen=True, order=True)
@@ -39,12 +45,23 @@ class Relation:
 
     # -- constructors --------------------------------------------------------
     @staticmethod
+    def make(kind: str, field: str = "", plus: bool = False, definite: bool = True) -> "Relation":
+        """Interned constructor: one canonical object per distinct relation."""
+        key = (kind, field, plus, definite)
+        cached = _RELATION_CACHE.get(key)
+        if cached is None:
+            cached = Relation(kind=kind, field=field, plus=plus, definite=definite)
+            if len(_RELATION_CACHE) < _MEMO_LIMIT:
+                _RELATION_CACHE[key] = cached
+        return cached
+
+    @staticmethod
     def alias(definite: bool = True) -> "Relation":
-        return Relation(kind="alias", definite=definite)
+        return Relation.make("alias", definite=definite)
 
     @staticmethod
     def path(field: str, plus: bool = False, definite: bool = True) -> "Relation":
-        return Relation(kind="path", field=field, plus=plus, definite=definite)
+        return Relation.make("path", field=field, plus=plus, definite=definite)
 
     # -- queries -------------------------------------------------------------
     @property
@@ -59,12 +76,12 @@ class Relation:
         """The same relation, but only possibly holding."""
         if not self.definite:
             return self
-        return Relation(kind=self.kind, field=self.field, plus=self.plus, definite=False)
+        return Relation.make(self.kind, self.field, self.plus, definite=False)
 
     def extended(self) -> "Relation":
         """A path extended by one more link of the same field (f -> f+)."""
         if self.is_path:
-            return Relation(kind="path", field=self.field, plus=True, definite=self.definite)
+            return Relation.make("path", self.field, plus=True, definite=self.definite)
         return self
 
     def __str__(self) -> str:
@@ -74,13 +91,39 @@ class Relation:
         return text if self.definite else text + "?"
 
 
-class PathEntry:
-    """An immutable set of :class:`Relation` values (one matrix cell)."""
+#: intern table for :class:`Relation` (see :meth:`Relation.make`)
+_RELATION_CACHE: Dict[Tuple[str, str, bool, bool], Relation] = {}
 
-    __slots__ = ("relations",)
+
+class PathEntry:
+    """An immutable, *interned* set of :class:`Relation` values (one matrix cell).
+
+    Entries are canonical: constructing a ``PathEntry`` from the same set of
+    relations returns the same object, so equality is usually a pointer
+    comparison and entries can be shared freely between matrices.  The
+    interning invariant — **entries must never be mutated in place** — is
+    upheld by every operation returning a (possibly cached) new entry.
+    """
+
+    __slots__ = ("relations", "_hash")
+
+    _intern: Dict[FrozenSet[Relation], "PathEntry"] = {}
+
+    def __new__(cls, relations: Iterable[Relation] = ()):
+        rels = relations if type(relations) is frozenset else frozenset(relations)
+        cached = cls._intern.get(rels)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.relations = rels
+        self._hash = hash(rels)
+        if len(cls._intern) < _MEMO_LIMIT:
+            cls._intern[rels] = self
+        return self
 
     def __init__(self, relations: Iterable[Relation] = ()):
-        self.relations: FrozenSet[Relation] = frozenset(relations)
+        # all state is set in __new__ (which may return a cached instance)
+        pass
 
     # -- constructors ---------------------------------------------------------
     @staticmethod
@@ -89,11 +132,11 @@ class PathEntry:
 
     @staticmethod
     def definite_alias() -> "PathEntry":
-        return PathEntry([Relation.alias(definite=True)])
+        return _DEFINITE_ALIAS_ENTRY
 
     @staticmethod
     def possible_alias() -> "PathEntry":
-        return PathEntry([Relation.alias(definite=False)])
+        return _POSSIBLE_ALIAS_ENTRY
 
     @staticmethod
     def single_path(field: str, plus: bool = False, definite: bool = True) -> "PathEntry":
@@ -137,7 +180,14 @@ class PathEntry:
             return self
         if not self.relations:
             return other
-        return PathEntry(self.relations | other.relations)
+        if self is other:
+            return self
+        key = (self.relations, other.relations)
+        cached = _UNION_MEMO.get(key)
+        if cached is None:
+            cached = PathEntry(self.relations | other.relations)
+            _memo_store(_UNION_MEMO, key, cached)
+        return cached
 
     def join(self, other: "PathEntry") -> "PathEntry":
         """Control-flow join of two entries (least upper bound).
@@ -150,26 +200,34 @@ class PathEntry:
         """
         if self.relations == other.relations:
             return self
+        key = (self.relations, other.relations)
+        cached = _JOIN_MEMO.get(key)
+        if cached is not None:
+            return cached
         result: set[Relation] = set()
         mine = {self._key(r): r for r in self.relations}
         theirs = {self._key(r): r for r in other.relations}
-        for key in set(mine) | set(theirs):
-            a, b = mine.get(key), theirs.get(key)
+        for rel_key in set(mine) | set(theirs):
+            a, b = mine.get(rel_key), theirs.get(rel_key)
             if a is not None and b is not None:
                 definite = a.definite and b.definite
                 base = a if a.definite else b
-                result.add(
-                    Relation(kind=base.kind, field=base.field, plus=base.plus, definite=definite)
-                )
+                result.add(Relation.make(base.kind, base.field, base.plus, definite))
             else:
                 present = a if a is not None else b
                 assert present is not None
                 result.add(present.weakened())
-        return PathEntry(result)
+        joined = PathEntry(result)
+        _memo_store(_JOIN_MEMO, key, joined)
+        return joined
 
     def weakened(self) -> "PathEntry":
         """Every relation becomes merely possible."""
-        return PathEntry(r.weakened() for r in self.relations)
+        cached = _WEAKEN_MEMO.get(self.relations)
+        if cached is None:
+            cached = PathEntry(r.weakened() for r in self.relations)
+            _memo_store(_WEAKEN_MEMO, self.relations, cached)
+        return cached
 
     @staticmethod
     def _key(relation: Relation) -> tuple:
@@ -185,11 +243,25 @@ class PathEntry:
         return f"PathEntry({sorted(self.relations)})"
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, PathEntry) and self.relations == other.relations
 
     def __hash__(self) -> int:
-        return hash(self.relations)
+        return self._hash
 
+
+def _memo_store(memo: dict, key, value) -> None:
+    if len(memo) >= _MEMO_LIMIT:
+        memo.clear()
+    memo[key] = value
+
+
+_JOIN_MEMO: Dict[Tuple[FrozenSet[Relation], FrozenSet[Relation]], PathEntry] = {}
+_UNION_MEMO: Dict[Tuple[FrozenSet[Relation], FrozenSet[Relation]], PathEntry] = {}
+_WEAKEN_MEMO: Dict[FrozenSet[Relation], PathEntry] = {}
 
 #: The canonical empty entry ("no known relationship; definitely not aliases").
 EMPTY_ENTRY = PathEntry()
+_DEFINITE_ALIAS_ENTRY = PathEntry([Relation.alias(definite=True)])
+_POSSIBLE_ALIAS_ENTRY = PathEntry([Relation.alias(definite=False)])

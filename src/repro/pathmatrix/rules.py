@@ -81,6 +81,11 @@ class TransferContext:
     #: when False, ADDS information is ignored and every rule is conservative
     use_adds: bool = True
     _temp_counter: int = 0
+    #: memoized statement-relevance verdicts, keyed by id(stmt) (the AST is
+    #: stable and outlives the context, so ids cannot be recycled mid-analysis)
+    _relevance: dict = dc_field(default_factory=dict)
+    _field_owner_cache: dict = dc_field(default_factory=dict)
+    _temp_names: dict = dc_field(default_factory=dict)
 
     # -- lookup helpers -----------------------------------------------------
     def properties_of(self, type_name: str) -> DerivedProperties | None:
@@ -95,12 +100,14 @@ class TransferContext:
 
     def field_owner(self, field_name: str) -> str | None:
         """The unique record type declaring ``field_name`` (None if ambiguous)."""
+        if field_name in self._field_owner_cache:
+            return self._field_owner_cache[field_name]
         owners = [
             t.name for t in self.program.types if t.field_named(field_name) is not None
         ]
-        if len(owners) == 1:
-            return owners[0]
-        return None
+        owner = owners[0] if len(owners) == 1 else None
+        self._field_owner_cache[field_name] = owner
+        return owner
 
     def type_of_var(self, var: str) -> str | None:
         return self.var_types.get(var)
@@ -127,13 +134,37 @@ class TransferContext:
         self._temp_counter += 1
         return f"@t{self._temp_counter}"
 
+    def temp_for(self, node) -> str:
+        """A temp name that is stable across re-applications of ``node``.
+
+        Fixpoint solvers apply the same statement many times; minting a fresh
+        temp per application would make the transfer non-idempotent (the
+        matrix never stops changing, because each application introduces a
+        new variable name), so temps are keyed by the AST node.
+        """
+        key = id(node)
+        name = self._temp_names.get(key)
+        if name is None:
+            self._temp_counter += 1
+            name = f"@t{self._temp_counter}"
+            self._temp_names[key] = name
+        return name
+
 
 # ---------------------------------------------------------------------------
 # the main dispatcher
 # ---------------------------------------------------------------------------
-def apply_statement(pm: PathMatrix, stmt: Stmt, ctx: TransferContext) -> PathMatrix:
-    """Return the path matrix holding after executing ``stmt``."""
-    result = pm.copy()
+def apply_statement(
+    pm: PathMatrix, stmt: Stmt, ctx: TransferContext, copy: bool = True
+) -> PathMatrix:
+    """Return the path matrix holding after executing ``stmt``.
+
+    With ``copy=False`` the input matrix is updated in place and returned —
+    callers own the matrix and are threading it through a statement sequence
+    (see :func:`apply_block`).  The default keeps the original value
+    semantics: the input is never modified.
+    """
+    result = pm.copy() if copy else pm
     if isinstance(stmt, VarDecl):
         if stmt.init is not None and ctx.is_tracked(stmt.name):
             _apply_pointer_assign(result, stmt.name, stmt.init, ctx, stmt.line)
@@ -158,6 +189,66 @@ def apply_statement(pm: PathMatrix, stmt: Stmt, ctx: TransferContext) -> PathMat
         return result
     # Structured statements are lowered by the CFG before analysis; anything
     # else leaves the matrix unchanged.
+    return result
+
+
+def _contains_call(expr: Expr) -> bool:
+    return any(isinstance(node, Call) for node in expr.walk())
+
+
+def _compute_relevance(stmt: Stmt, ctx: TransferContext) -> bool:
+    if isinstance(stmt, VarDecl):
+        return ctx.is_tracked(stmt.name)
+    if isinstance(stmt, Assign):
+        return ctx.is_tracked(stmt.target) or _contains_call(stmt.value)
+    if isinstance(stmt, FieldAssign):
+        if _contains_call(stmt.value):
+            return True
+        base_var = stmt.base.ident if isinstance(stmt.base, Name) else None
+        type_name, _props, is_ptr = ctx.field_info(base_var, stmt.field)
+        # mirrors _apply_field_store: data-field stores (and stores into
+        # fields of unknown types) never change the matrix
+        return bool(is_ptr and type_name is not None)
+    if isinstance(stmt, ExprStmt):
+        return _contains_call(stmt.expr)
+    if isinstance(stmt, Return):
+        return stmt.value is not None and _contains_call(stmt.value)
+    return False
+
+
+def statement_touches_matrix(stmt: Stmt, ctx: TransferContext) -> bool:
+    """Can ``stmt`` change any path matrix at all under ``ctx``?
+
+    Conservative (False only for provable no-ops) and memoized per context,
+    so the fixpoint solver asks once per statement rather than once per
+    (statement, iteration).
+    """
+    key = id(stmt)
+    cached = ctx._relevance.get(key)
+    if cached is None:
+        cached = _compute_relevance(stmt, ctx)
+        ctx._relevance[key] = cached
+    return cached
+
+
+def apply_block(pm: PathMatrix, statements: list, ctx: TransferContext) -> PathMatrix:
+    """Transfer a straight-line statement sequence with copy-on-first-write.
+
+    Statements that provably cannot touch the matrix are skipped outright;
+    the input matrix is copied only once, just before the first statement
+    that can.  A block of pure scalar code therefore returns the input
+    matrix itself (callers must treat matrices as immutable values, which
+    the solvers do).
+    """
+    result = pm
+    copied = False
+    for stmt in statements:
+        if not statement_touches_matrix(stmt, ctx):
+            continue
+        if not copied:
+            result = result.copy()
+            copied = True
+        result = apply_statement(result, stmt, ctx, copy=False)
     return result
 
 
@@ -351,7 +442,7 @@ def _apply_field_store(pm: PathMatrix, stmt: FieldAssign, ctx: TransferContext) 
         if load is not None and isinstance(load[0], Name) and ctx.is_tracked(load[0].ident):
             # p->f = q->g : materialize the loaded node as a temporary so the
             # sharing check below can see its existing parent.
-            temp = ctx.fresh_temp()
+            temp = ctx.temp_for(stmt)
             pm.ensure_variable(temp)
             _apply_field_load(pm, temp, load[0].ident, load[1], ctx)
             stored_var = temp

@@ -1,0 +1,142 @@
+"""Golden equivalence: the worklist engine must reproduce the seed engine.
+
+The worklist solver skips work; it must never change answers.  These tests
+run both fixpoint engines over every paper example program, the generated
+stress programs, and a population of randomly generated small CFGs, and
+assert the resulting matrices are ``equivalent()`` at every program point —
+including identical may/must-alias answers and validation states.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adds.library import merged_into
+from repro.bench.figures import POLYNOMIAL_SCALE_SRC, SUBTREE_MOVE_SRC
+from repro.bench.stress import deep_program, random_program, wide_program
+from repro.nbody.toy_program import barnes_hut_toy_program
+from repro.pathmatrix import PathMatrixAnalysis, baseline_roundrobin
+
+
+def assert_solvers_agree(program, function_name: str, use_adds: bool = True):
+    analysis = PathMatrixAnalysis(program, use_adds=use_adds)
+    rr = analysis.analyze_function(function_name, solver="roundrobin")
+    wl = analysis.analyze_function(function_name, solver="worklist")
+
+    assert set(rr.entry_matrices) == set(wl.entry_matrices), function_name
+    assert set(rr.exit_matrices) == set(wl.exit_matrices), function_name
+    for which, rr_side, wl_side in (
+        ("entry", rr.entry_matrices, wl.entry_matrices),
+        ("exit", rr.exit_matrices, wl.exit_matrices),
+    ):
+        for idx, rr_pm in rr_side.items():
+            wl_pm = wl_side[idx]
+            assert rr_pm.equivalent(wl_pm), (
+                f"{function_name}: {which} matrix of block {idx} differs"
+            )
+
+    # identical alias answers and validation state at the exit point
+    rr_final, wl_final = rr.final_matrix(), wl.final_matrix()
+    variables = sorted(set(rr_final.variables) | {"<unknown>"})
+    for a in variables:
+        for b in variables:
+            assert rr_final.may_alias(a, b) == wl_final.may_alias(a, b), (a, b)
+            assert rr_final.must_alias(a, b) == wl_final.must_alias(a, b), (a, b)
+    assert rr_final.validation.equivalent(wl_final.validation)
+    assert sorted(map(str, rr.violations())) == sorted(map(str, wl.violations()))
+    return rr, wl
+
+
+class TestPaperExamplePrograms:
+    def test_polynomial_scaling_loop(self):
+        program = merged_into(POLYNOMIAL_SCALE_SRC, "ListNode")
+        assert_solvers_agree(program, "scale")
+
+    def test_polynomial_scaling_loop_without_adds(self):
+        program = merged_into(POLYNOMIAL_SCALE_SRC, "ListNode")
+        assert_solvers_agree(program, "scale", use_adds=False)
+
+    def test_subtree_move(self):
+        program = merged_into(SUBTREE_MOVE_SRC, "BinTree")
+        assert_solvers_agree(program, "move_subtree")
+
+    def test_every_barnes_hut_function(self):
+        program = barnes_hut_toy_program()
+        for func in program.functions:
+            assert_solvers_agree(program, func.name)
+
+
+class TestStressPrograms:
+    def test_wide_program(self):
+        assert_solvers_agree(wide_program(30), "stress")
+
+    def test_deep_program(self):
+        assert_solvers_agree(deep_program(4, 4, 12), "deep")
+
+
+class TestRandomPrograms:
+    """Property-style sweep over randomly generated small CFGs."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_program_equivalence(self, seed):
+        program = random_program(seed)
+        assert_solvers_agree(program, "chaos")
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_program_equivalence_without_adds(self, seed):
+        program = random_program(seed, num_statements=10)
+        assert_solvers_agree(program, "chaos", use_adds=False)
+
+
+class TestWorkAccounting:
+    """The satellite requirement: solver effort is observable and ordered."""
+
+    ACYCLIC_SRC = """
+    function straight(a, b)
+    { var p; var q;
+      p = a;
+      q = p->next;
+      if a <> NULL
+      { p = q->next; }
+      else
+      { p = b; }
+      p->coef = 1;
+      return p;
+    }
+    """
+
+    def test_worklist_strictly_less_work_on_acyclic_cfg(self):
+        program = merged_into(self.ACYCLIC_SRC, "ListNode")
+        analysis = PathMatrixAnalysis(program)
+        rr = analysis.analyze_function("straight", solver="roundrobin")
+        wl = analysis.analyze_function("straight", solver="worklist")
+        assert rr.blocks_transferred > 0 and wl.blocks_transferred > 0
+        assert wl.blocks_transferred < rr.blocks_transferred
+        assert wl.iterations <= rr.iterations
+
+    def test_worklist_never_more_transfers_with_loops(self):
+        program = merged_into(POLYNOMIAL_SCALE_SRC, "ListNode")
+        analysis = PathMatrixAnalysis(program)
+        rr = analysis.analyze_function("scale", solver="roundrobin")
+        wl = analysis.analyze_function("scale", solver="worklist")
+        assert wl.blocks_transferred <= rr.blocks_transferred
+
+    def test_solver_is_recorded_on_results(self):
+        program = merged_into(POLYNOMIAL_SCALE_SRC, "ListNode")
+        analysis = PathMatrixAnalysis(program)
+        assert analysis.analyze_function("scale").solver == "worklist"
+        assert (
+            analysis.analyze_function("scale", solver="roundrobin").solver
+            == "roundrobin"
+        )
+
+    def test_unknown_solver_rejected(self):
+        program = merged_into(POLYNOMIAL_SCALE_SRC, "ListNode")
+        with pytest.raises(ValueError):
+            PathMatrixAnalysis(program).analyze_function("scale", solver="magic")
+
+    def test_baseline_roundrobin_convenience(self):
+        program = merged_into(POLYNOMIAL_SCALE_SRC, "ListNode")
+        result = baseline_roundrobin(program, "scale")
+        assert result.solver == "roundrobin"
+        assert result.iterations >= 1

@@ -147,3 +147,72 @@ class TestPathMatrix:
         pm.set("head", "p", PathEntry.single_path("next", plus=True))
         pm.set("mid", "p", PathEntry.single_path("next"))
         assert set(pm.pointers_reaching("p")) == {"head", "mid"}
+
+
+class TestMustAliasRegression:
+    """must_alias must mirror may_alias's handling of unknown/nil operands.
+
+    Regression for the seed bug where must_alias never checked nil_vars or
+    matrix membership: it claimed ``must_alias(x, x)`` for variables the
+    matrix had never seen, and for variables known to be NULL.
+    """
+
+    def test_untracked_variable_is_not_must_alias_with_itself(self):
+        pm = PathMatrix(["a"])
+        assert not pm.must_alias("never_seen", "never_seen")
+        # may_alias stays conservative for unknowns
+        assert pm.may_alias("a", "never_seen")
+
+    def test_untracked_variable_is_not_must_alias_with_tracked(self):
+        pm = PathMatrix(["a"])
+        assert not pm.must_alias("a", "never_seen")
+        assert not pm.must_alias("never_seen", "a")
+
+    def test_nil_variable_is_not_must_alias(self):
+        pm = PathMatrix(["a", "b"])
+        pm.set("a", "b", PathEntry.definite_alias())
+        pm.set_nil("a")
+        assert not pm.must_alias("a", "b")
+        assert not pm.must_alias("a", "a")
+
+    def test_tracked_self_alias_still_holds(self):
+        pm = PathMatrix(["a"])
+        assert pm.must_alias("a", "a")
+
+    def test_definite_alias_pair_still_must_alias(self):
+        pm = PathMatrix(["a", "b"])
+        pm.set("a", "b", PathEntry.definite_alias())
+        assert pm.must_alias("a", "b")
+        assert pm.must_alias("b", "a")
+
+
+class TestInterning:
+    """The interning invariants the performance layer relies on."""
+
+    def test_equal_entries_are_identical_objects(self):
+        a = PathEntry([Relation.path("next", plus=True)])
+        b = PathEntry([Relation.path("next", plus=True)])
+        assert a is b
+
+    def test_empty_entry_is_canonical(self):
+        assert PathEntry() is PathEntry.empty()
+
+    def test_relation_constructors_are_interned(self):
+        assert Relation.alias() is Relation.alias()
+        assert Relation.path("next") is Relation.path("next")
+        assert Relation.path("next").weakened() is Relation.path("next", definite=False)
+
+    def test_join_returns_interned_entry(self):
+        a = PathEntry([Relation.path("next")])
+        b = PathEntry([Relation.alias()])
+        joined1 = a.join(b)
+        joined2 = a.join(b)
+        assert joined1 is joined2
+
+    def test_matrix_copy_shares_interned_entries(self):
+        pm = PathMatrix(["a", "b"])
+        pm.set("a", "b", PathEntry.single_path("next"))
+        clone = pm.copy()
+        assert clone.get("a", "b") is pm.get("a", "b")
+        clone.set("a", "b", PathEntry.definite_alias())
+        assert pm.get("a", "b") == PathEntry.single_path("next")
