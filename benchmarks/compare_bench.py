@@ -53,12 +53,20 @@ def main(argv: list[str] | None = None) -> int:
     new = scenarios_by_name(load(args.new))
 
     regressions: list[str] = []
+    added: list[str] = []
+    removed: list[str] = []
     print(f"{'scenario':<16} {'old':>10} {'new':>10} {'delta':>8}")
     for name in sorted(old.keys() | new.keys()):
         old_row, new_row = old.get(name), new.get(name)
         if old_row is None or new_row is None:
-            label = "only in old" if new_row is None else "only in new"
-            print(f"{name:<16} {label:>30}")
+            # benchmarks present in only one snapshot (a PR added or retired
+            # one) are informational, never a comparison failure
+            if old_row is None:
+                added.append(name)
+                print(f"{name:<16} {'added (new benchmark)':>30}")
+            else:
+                removed.append(name)
+                print(f"{name:<16} {'removed (not in new)':>30}")
             continue
         old_t, new_t = old_row.get(args.key), new_row.get(args.key)
         if old_t is None or new_t is None:
@@ -71,6 +79,10 @@ def main(argv: list[str] | None = None) -> int:
             regressions.append(f"{name}: {old_t:.4f}s -> {new_t:.4f}s ({delta:+.1%})")
         print(f"{name:<16} {old_t:>9.4f}s {new_t:>9.4f}s {delta:>+7.1%}{marker}")
 
+    if added:
+        print(f"\nadded: {', '.join(added)}")
+    if removed:
+        print(f"removed: {', '.join(removed)}")
     if regressions:
         print(
             f"\nFAIL: {len(regressions)} scenario(s) slower by more than "

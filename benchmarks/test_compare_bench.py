@@ -1,0 +1,77 @@
+"""Tests for the benchmark snapshot differ (``compare_bench.py``).
+
+A PR that adds or retires a benchmark must still be able to diff its
+snapshot against the previous one: scenarios present in only one file are
+reported as added/removed, never treated as a comparison failure.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench", Path(__file__).parent / "compare_bench.py"
+)
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def _snapshot(path: Path, **scenarios: float) -> str:
+    payload = {
+        "scenarios": [
+            {"scenario": name, "worklist_s": value} for name, value in scenarios.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_identical_snapshots_pass(tmp_path, capsys):
+    old = _snapshot(tmp_path / "old.json", wide=1.0, deep=2.0)
+    assert compare_bench.main([old, old]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_added_and_removed_scenarios_do_not_fail(tmp_path, capsys):
+    old = _snapshot(tmp_path / "old.json", wide=1.0, retired=4.0)
+    new = _snapshot(tmp_path / "new.json", wide=1.0, brand_new=0.5)
+    assert compare_bench.main([old, new]) == 0
+    out = capsys.readouterr().out
+    assert "added: brand_new" in out
+    assert "removed: retired" in out
+    assert "OK" in out
+
+
+def test_disjoint_snapshots_still_succeed(tmp_path):
+    """The degenerate case that used to make the diff unusable: a PR whose
+    snapshot shares no scenario with the baseline."""
+    old = _snapshot(tmp_path / "old.json", a=1.0)
+    new = _snapshot(tmp_path / "new.json", b=1.0)
+    assert compare_bench.main([old, new]) == 0
+
+
+def test_regression_detected(tmp_path, capsys):
+    old = _snapshot(tmp_path / "old.json", wide=1.0)
+    new = _snapshot(tmp_path / "new.json", wide=1.5, extra=9.9)
+    assert compare_bench.main([old, new]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "added: extra" in out  # the new scenario is reported, not blamed
+
+
+def test_speedup_is_not_a_regression(tmp_path):
+    old = _snapshot(tmp_path / "old.json", wide=2.0)
+    new = _snapshot(tmp_path / "new.json", wide=1.0)
+    assert compare_bench.main([old, new]) == 0
+
+
+def test_unreadable_file_exits_2(tmp_path):
+    bad = tmp_path / "missing.json"
+    good = _snapshot(tmp_path / "good.json", wide=1.0)
+    with pytest.raises(SystemExit) as exc:
+        compare_bench.main([str(bad), good])
+    assert exc.value.code == 2

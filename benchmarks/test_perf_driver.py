@@ -1,0 +1,130 @@
+"""Throughput benchmark for the whole-program batch driver.
+
+Times three configurations over the built-in corpus — cold serial, cold
+parallel, and warm (fully cached) — and writes ``BENCH_driver.json`` at the
+repository root so future PRs can track driver throughput alongside the
+fixpoint-core numbers in ``BENCH_pathmatrix.json``.  Compare snapshots with
+``python benchmarks/compare_bench.py OLD.json NEW.json --key elapsed_s``.
+
+The only *hard* assertions are deterministic ones: a warm run must execute
+zero analyses, and every configuration must produce identical per-function
+reports.  Wall-clock numbers are recorded, not gated (CI machines vary).
+
+Set ``REPRO_FULL=1`` for the paper-sized stress corpus.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.driver.batch import BatchDriver
+from repro.driver.corpus import corpus_named
+
+
+def full_runs_requested() -> bool:
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")
+
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_driver.json"
+
+
+def _run(items, jobs, cache_dir):
+    started = time.perf_counter()
+    batch = BatchDriver(jobs=jobs, cache_dir=cache_dir).analyze_corpus(items)
+    elapsed = time.perf_counter() - started
+    return batch, elapsed
+
+
+@pytest.fixture(scope="module")
+def measurements(tmp_path_factory):
+    items = corpus_named("builtin", full=full_runs_requested())
+    cache_dir = tmp_path_factory.mktemp("driver-cache")
+    jobs = 4 if full_runs_requested() else 2
+
+    cold, cold_s = _run(items, 1, cache_dir)
+    warm, warm_s = _run(items, 1, cache_dir)
+    parallel, parallel_s = _run(items, jobs, tmp_path_factory.mktemp("parallel-cache"))
+
+    functions = cold.function_count()
+    rows = [
+        {
+            "scenario": "cold_serial",
+            "jobs": 1,
+            "elapsed_s": cold_s,
+            "functions": functions,
+            "functions_per_s": functions / cold_s if cold_s else float("inf"),
+            "analyses_executed": cold.analyses_executed,
+            "cache_hits": cold.cache_hits,
+        },
+        {
+            "scenario": "warm_serial",
+            "jobs": 1,
+            "elapsed_s": warm_s,
+            "functions": functions,
+            "functions_per_s": functions / warm_s if warm_s else float("inf"),
+            "analyses_executed": warm.analyses_executed,
+            "cache_hits": warm.cache_hits,
+        },
+        {
+            "scenario": f"cold_parallel_{jobs}",
+            "jobs": jobs,
+            "elapsed_s": parallel_s,
+            "functions": functions,
+            "functions_per_s": functions / parallel_s if parallel_s else float("inf"),
+            "analyses_executed": parallel.analyses_executed,
+            "cache_hits": parallel.cache_hits,
+        },
+    ]
+    return {"items": items, "cold": cold, "warm": warm, "parallel": parallel, "rows": rows}
+
+
+def test_corpus_is_substantial(measurements):
+    assert len(measurements["items"]) >= 8
+    assert measurements["cold"].function_count() >= 30
+    assert not any(p.error for p in measurements["cold"].programs)
+
+
+def test_warm_run_is_fully_cached(measurements):
+    warm = measurements["warm"]
+    cold = measurements["cold"]
+    assert warm.analyses_executed == 0
+    assert warm.cache_hits == cold.function_count()
+    # and the cache returns exactly what the cold run computed
+    for cold_p, warm_p in zip(cold.programs, warm.programs):
+        assert cold_p.functions == warm_p.functions
+
+
+def test_parallel_run_matches_serial(measurements):
+    cold = measurements["cold"]
+    parallel = measurements["parallel"]
+    for cold_p, par_p in zip(cold.programs, parallel.programs):
+        assert cold_p.functions == par_p.functions
+        assert cold_p.simulation == par_p.simulation
+
+
+def test_warm_run_is_faster_than_cold(measurements):
+    rows = {r["scenario"]: r for r in measurements["rows"]}
+    # reading ~40 small JSON files must beat re-running ~40 fixpoints; the
+    # margin is enormous in practice, so this is safe to gate on
+    assert rows["warm_serial"]["elapsed_s"] < rows["cold_serial"]["elapsed_s"]
+
+
+def test_emit_bench_json(measurements):
+    rows = measurements["rows"]
+    payload = {
+        "schema": 1,
+        "suite": "driver_batch",
+        "mode": "full" if full_runs_requested() else "quick",
+        "corpus_programs": len(measurements["items"]),
+        "corpus_functions": measurements["cold"].function_count(),
+        "scenarios": rows,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    written = json.loads(BENCH_PATH.read_text())
+    assert written["scenarios"], "benchmark file must record at least one scenario"

@@ -1,0 +1,6 @@
+"""``python -m repro`` — the whole-program batch analysis driver."""
+
+from repro.driver.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,185 @@
+"""The whole-program batch driver: SCC-ordered, pooled, memoized analysis.
+
+For every corpus program the driver parses the source, builds the call
+graph, and schedules its strongly connected components bottom-up (callees
+before callers — the order the paper validates Barnes–Hut in).  Components
+with no ordering constraint form a *wave*; the functions of a wave fan out
+across a ``multiprocessing`` pool.  Each function's report is memoized in
+the on-disk :class:`~repro.driver.cache.ResultCache` keyed by its AST and
+its transitive callees' summary digests, so a warm re-run performs no
+analysis at all (the acceptance test asserts exactly that).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import astuple, dataclass, field
+
+from repro.lang.errors import LangError
+from repro.pathmatrix.interproc import summarize_program
+
+from repro.driver.cache import ResultCache, function_digests, program_digest
+from repro.driver.callgraph import bottom_up_waves, build_call_graph
+from repro.driver.corpus import CorpusItem
+from repro.driver.pipeline import (
+    PipelineOptions,
+    _job_worker,
+    parsed_program,
+    simulate_program,
+)
+
+
+@dataclass
+class ProgramReport:
+    """Everything the batch run learned about one corpus program."""
+
+    name: str
+    functions: dict[str, dict] = field(default_factory=dict)
+    #: bottom-up schedule actually used, wave by wave (SCCs as name lists)
+    schedule: list[list[list[str]]] = field(default_factory=list)
+    simulation: dict | None = None
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "functions": self.functions,
+            "schedule": self.schedule,
+            "simulation": self.simulation,
+            "error": self.error,
+        }
+
+
+@dataclass
+class BatchReport:
+    """The result of one driver invocation over a corpus."""
+
+    programs: list[ProgramReport] = field(default_factory=list)
+    #: per-function analyses actually executed (cache misses)
+    analyses_executed: int = 0
+    #: per-function reports served from the on-disk cache
+    cache_hits: int = 0
+    #: whole-program simulations served from the cache
+    simulation_cache_hits: int = 0
+    jobs: int = 1
+    elapsed_s: float = 0.0
+
+    def program(self, name: str) -> ProgramReport:
+        for report in self.programs:
+            if report.name == name:
+                return report
+        raise KeyError(name)
+
+    def function_count(self) -> int:
+        return sum(len(p.functions) for p in self.programs)
+
+    def to_dict(self) -> dict:
+        return {
+            "programs": [p.to_dict() for p in self.programs],
+            "stats": {
+                "programs": len(self.programs),
+                "functions": self.function_count(),
+                "analyses_executed": self.analyses_executed,
+                "cache_hits": self.cache_hits,
+                "simulation_cache_hits": self.simulation_cache_hits,
+                "jobs": self.jobs,
+                "elapsed_s": self.elapsed_s,
+            },
+        }
+
+
+class BatchDriver:
+    """Drive the full pipeline over many programs, in parallel, with caching.
+
+    ``jobs=1`` analyzes in-process (no pool); ``jobs>1`` fans each wave of
+    independent functions out across a ``multiprocessing`` pool.
+    ``cache_dir=None`` disables memoization.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir=None,
+        options: PipelineOptions | None = None,
+        simulate: bool = True,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.options = options or PipelineOptions()
+        self.cache = ResultCache(cache_dir)
+        self.simulate = simulate
+
+    # -- public entry points -------------------------------------------------
+    def analyze_corpus(self, items: list[CorpusItem]) -> BatchReport:
+        report = BatchReport(jobs=self.jobs)
+        started = time.perf_counter()
+        pool = None
+        try:
+            if self.jobs > 1:
+                import multiprocessing
+
+                try:  # fork shares the parsed-program caches with the workers
+                    ctx = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX hosts
+                    ctx = multiprocessing.get_context("spawn")
+                pool = ctx.Pool(self.jobs)
+            for item in items:
+                report.programs.append(self._analyze_item(item, pool, report))
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+        report.elapsed_s = time.perf_counter() - started
+        return report
+
+    # -- one program ---------------------------------------------------------
+    def _analyze_item(self, item: CorpusItem, pool, batch: BatchReport) -> ProgramReport:
+        report = ProgramReport(name=item.name)
+        try:
+            program = parsed_program(item.source)
+        except LangError as exc:
+            report.error = f"parse error: {exc}"
+            return report
+
+        try:
+            summaries = summarize_program(program)
+            graph = build_call_graph(program)
+            waves = bottom_up_waves(graph)
+        except LangError as exc:  # defensive: malformed programs must not abort the batch
+            report.error = str(exc)
+            return report
+        report.schedule = waves
+        digests = function_digests(program, graph, summaries, self.options.key())
+
+        options_tuple = astuple(self.options)
+        for wave in waves:
+            pending: list[tuple[str, str]] = []  # (function, digest)
+            for scc in wave:
+                for name in scc:
+                    cached = self.cache.get(digests[name])
+                    if cached is not None:
+                        report.functions[name] = cached
+                        batch.cache_hits += 1
+                    else:
+                        pending.append((name, digests[name]))
+            if not pending:
+                continue
+            tasks = [(item.source, name, options_tuple) for name, _ in pending]
+            if pool is not None:
+                results = pool.map(_job_worker, tasks)
+            else:
+                results = [_job_worker(task) for task in tasks]
+            for (name, digest), result in zip(pending, results):
+                report.functions[name] = result
+                self.cache.put(digest, result)
+                batch.analyses_executed += 1
+
+        if self.simulate:
+            sim_key = program_digest(item.source, self.options.key())
+            cached = self.cache.get(sim_key)
+            if cached is not None:
+                report.simulation = cached
+                batch.simulation_cache_hits += 1
+            else:
+                report.simulation = simulate_program(item.source, self.options)
+                self.cache.put(sim_key, report.simulation)
+        return report

@@ -1,0 +1,130 @@
+"""On-disk memoization of per-function analysis results.
+
+A function's cached report is keyed by a content hash of everything that can
+influence it: the analysis version and options, the program's type
+declarations (ADDS information changes verdicts), the function's own
+unparsed AST, and — per the bottom-up interprocedural discipline — the
+side-effect summary digests of every transitive callee.  Editing a leaf
+invalidates its whole caller chain; editing a comment-free unrelated
+function invalidates nothing else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.lang.ast_nodes import Program
+from repro.lang.pretty import unparse
+from repro.pathmatrix.interproc import FunctionSummary
+
+from repro.driver.callgraph import CallGraph
+
+#: bump when the per-function report schema or analysis semantics change
+CACHE_VERSION = 1
+
+
+def _sha(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def program_digest(source: str, options_key: str) -> str:
+    """Cache key for whole-program stages (the simulation report)."""
+    return _sha("program", str(CACHE_VERSION), options_key, source)
+
+
+def function_digests(
+    program: Program,
+    graph: CallGraph,
+    summaries: dict[str, FunctionSummary],
+    options_key: str,
+) -> dict[str, str]:
+    """Per-function cache keys: AST hash + transitive callee summary hashes."""
+    types_src = "\n".join(unparse(t) for t in program.types)
+    summary_digests = {
+        name: summary.digest() for name, summary in summaries.items()
+    }
+    digests: dict[str, str] = {}
+    for func in program.functions:
+        callees = sorted(graph.transitive_callees(func.name))
+        callee_part = ";".join(
+            f"{c}:{summary_digests.get(c, '?')}" for c in callees
+        )
+        digests[func.name] = _sha(
+            "function",
+            str(CACHE_VERSION),
+            options_key,
+            types_src,
+            unparse(func),
+            callee_part,
+        )
+    return digests
+
+
+class ResultCache:
+    """A flat directory of ``<digest>.json`` report payloads.
+
+    ``directory=None`` disables the cache (every lookup misses, nothing is
+    written) so the driver code has a single code path.
+    """
+
+    def __init__(self, directory: str | Path | None):
+        self.directory = Path(directory) if directory is not None else None
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.directory is not None
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        if self.directory is None:
+            self.misses += 1
+            return None
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        if self.directory is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        tmp.replace(path)  # atomic publish: concurrent runs see full files
+        self.writes += 1
+
+    def clear(self) -> int:
+        """Delete every cached payload; returns the number removed."""
+        if self.directory is None or not self.directory.exists():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "directory": str(self.directory) if self.directory else None,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }

@@ -1,0 +1,135 @@
+"""Call graphs, strongly connected components, and bottom-up schedules.
+
+The paper validates Barnes–Hut *bottom-up over its call graph*: leaf helpers
+first, then their callers, so every call site is analyzed with its callees'
+summaries already settled.  The batch driver generalizes that discipline to
+arbitrary programs: functions are grouped into strongly connected components
+(mutual recursion analyzes as a unit), the condensation is scheduled
+bottom-up, and components with no ordering constraint between them land in
+the same *wave* — the unit of parallel fan-out across the worker pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast_nodes import Call, Program, iter_statements
+
+
+@dataclass
+class CallGraph:
+    """Who calls whom, restricted to functions defined in the program."""
+
+    functions: list[str]
+    #: caller -> set of defined callees
+    edges: dict[str, set[str]] = field(default_factory=dict)
+
+    def callees(self, name: str) -> set[str]:
+        return self.edges.get(name, set())
+
+    def transitive_callees(self, name: str) -> set[str]:
+        """Every defined function reachable from ``name`` (excluding itself
+        unless it is recursive)."""
+        seen: set[str] = set()
+        stack = list(self.callees(name))
+        while stack:
+            callee = stack.pop()
+            if callee in seen:
+                continue
+            seen.add(callee)
+            stack.extend(self.callees(callee))
+        return seen
+
+
+def build_call_graph(program: Program) -> CallGraph:
+    """The defined-functions call graph of ``program`` (builtins excluded)."""
+    defined = {f.name for f in program.functions}
+    graph = CallGraph(functions=[f.name for f in program.functions])
+    for func in program.functions:
+        callees: set[str] = set()
+        for stmt in iter_statements(func.body):
+            for node in stmt.walk():
+                if isinstance(node, Call) and node.func in defined:
+                    callees.add(node.func)
+        graph.edges[func.name] = callees
+    return graph
+
+
+def strongly_connected_components(graph: CallGraph) -> list[list[str]]:
+    """Tarjan's SCCs, iteratively (stress programs nest deeply), emitted
+    bottom-up: every component appears before any component that calls it."""
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in graph.functions:
+        if root in index_of:
+            continue
+        # explicit DFS machine: (node, iterator over its callees)
+        work = [(root, iter(sorted(graph.callees(root))))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for callee in it:
+                if callee not in index_of:
+                    index_of[callee] = lowlink[callee] = counter
+                    counter += 1
+                    stack.append(callee)
+                    on_stack.add(callee)
+                    work.append((callee, iter(sorted(graph.callees(callee)))))
+                    advanced = True
+                    break
+                if callee in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[callee])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(component))
+    return sccs
+
+
+def bottom_up_waves(graph: CallGraph) -> list[list[list[str]]]:
+    """Group SCCs into waves: wave ``k`` holds the components whose callees
+    all live in waves ``< k``.  Components within one wave are independent
+    of each other and may be analyzed in parallel."""
+    sccs = strongly_connected_components(graph)
+    component_of: dict[str, int] = {}
+    for i, scc in enumerate(sccs):
+        for name in scc:
+            component_of[name] = i
+
+    depth: dict[int, int] = {}
+    for i, scc in enumerate(sccs):  # bottom-up, so callee depths are ready
+        callee_depths = [
+            depth[component_of[callee]]
+            for name in scc
+            for callee in graph.callees(name)
+            if component_of[callee] != i
+        ]
+        depth[i] = 1 + max(callee_depths, default=-1)
+
+    waves: list[list[list[str]]] = []
+    for i, scc in enumerate(sccs):
+        d = depth[i]
+        while len(waves) <= d:
+            waves.append([])
+        waves[d].append(scc)
+    return waves

@@ -1,0 +1,203 @@
+"""The ``python -m repro`` command line.
+
+Subcommands:
+
+* ``analyze`` — run the whole pipeline (parse → typecheck → path-matrix
+  analysis → ADDS validation → loop classification → transforms →
+  machine-simulated speedup) over source files and/or a named corpus,
+  in parallel, with on-disk memoization.
+* ``corpus``  — list the programs of the built-in corpora.
+* ``cache``   — show or clear the on-disk result cache.
+
+Examples::
+
+    python -m repro analyze --corpus builtin --jobs 4
+    python -m repro analyze examples/corpus/list_sum.ptr --format json
+    python -m repro corpus
+    python -m repro cache --clear
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.driver.batch import BatchDriver, BatchReport
+from repro.driver.corpus import CORPORA, corpus_named, load_source_file
+from repro.driver.pipeline import PipelineOptions
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Whole-program batch driver for the ADDS/path-matrix pipeline.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyze programs end to end")
+    analyze.add_argument("paths", nargs="*", help="toy-language source files (.ptr)")
+    analyze.add_argument(
+        "--corpus",
+        choices=sorted(CORPORA),
+        help="also analyze a named built-in corpus",
+    )
+    analyze.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    analyze.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"on-disk result cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    analyze.add_argument("--no-cache", action="store_true", help="disable memoization")
+    analyze.add_argument(
+        "--no-simulate", action="store_true", help="skip the machine-simulation stage"
+    )
+    analyze.add_argument(
+        "--solver",
+        choices=("worklist", "roundrobin"),
+        default="worklist",
+        help="fixpoint engine (default worklist)",
+    )
+    analyze.add_argument(
+        "--no-adds", action="store_true", help="ignore ADDS declarations (conservative)"
+    )
+    analyze.add_argument("--pes", type=int, default=4, help="simulated processors (default 4)")
+    analyze.add_argument("--entry", default="main", help="entry function (default main)")
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    analyze.add_argument("--output", help="also write the JSON report to this file")
+    analyze.add_argument(
+        "--full", action="store_true", help="paper-sized stress corpus instead of quick"
+    )
+
+    corpus = sub.add_parser("corpus", help="list the built-in corpus programs")
+    corpus.add_argument("--name", default="builtin", choices=sorted(CORPORA))
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    cache.add_argument("--clear", action="store_true", help="delete all cached results")
+    return parser
+
+
+# -- report rendering ---------------------------------------------------------
+def render_text(report: BatchReport) -> str:
+    lines: list[str] = []
+    for program in report.programs:
+        lines.append(f"== {program.name} ==")
+        if program.error:
+            lines.append(f"  ERROR: {program.error}")
+            continue
+        waves = len(program.schedule)
+        lines.append(f"  {len(program.functions)} function(s), {waves} bottom-up wave(s)")
+        for name in sorted(program.functions):
+            func = program.functions[name]
+            analysis = func.get("analysis", {})
+            if analysis.get("error"):
+                lines.append(f"  {name}: analysis failed: {analysis['error']}")
+                continue
+            valid = analysis.get("abstraction_valid", {})
+            broken = sorted(t for t, ok in valid.items() if not ok)
+            status = f"violations for {', '.join(broken)}" if broken else "abstraction valid"
+            lines.append(
+                f"  {name}: {analysis.get('iterations', '?')} sweep(s), {status}"
+            )
+            for loop in func.get("loops", []):
+                transforms = [
+                    t for t, o in loop.get("transforms", {}).items() if o.get("applied")
+                ]
+                extra = f" [{', '.join(transforms)}]" if transforms else ""
+                lines.append(
+                    f"    loop@{loop.get('line')}: {loop.get('classification')}{extra}"
+                )
+        sim = program.simulation
+        if sim is not None:
+            if sim.get("status") == "simulated":
+                match = "heaps match" if sim.get("heaps_match") else "HEAP MISMATCH"
+                lines.append(
+                    f"  simulated on {sim['pes']} PEs: speedup {sim['speedup']:.2f}x "
+                    f"over {len(sim['transformed_functions'])} transformed function(s), "
+                    f"{match}"
+                )
+            else:
+                lines.append(f"  simulation: {sim.get('status')}")
+        lines.append("")
+    lines.append(
+        f"{len(report.programs)} program(s), {report.function_count()} function(s): "
+        f"{report.analyses_executed} analyzed, {report.cache_hits} from cache "
+        f"({report.jobs} job(s), {report.elapsed_s:.2f}s)"
+    )
+    return "\n".join(lines)
+
+
+# -- subcommands --------------------------------------------------------------
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    items = []
+    for path in args.paths:
+        try:
+            items.append(load_source_file(path))
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    if args.corpus:
+        items.extend(corpus_named(args.corpus, full=args.full))
+    if not items:
+        print("error: no inputs (pass source files and/or --corpus)", file=sys.stderr)
+        return 2
+
+    options = PipelineOptions(
+        solver=args.solver,
+        use_adds=not args.no_adds,
+        pes=args.pes,
+        entry=args.entry,
+    )
+    driver = BatchDriver(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        options=options,
+        simulate=not args.no_simulate,
+    )
+    report = driver.analyze_corpus(items)
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_text(report))
+    return 1 if any(p.error for p in report.programs) else 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    for item in corpus_named(args.name):
+        functions = item.source.count("function ") + item.source.count("procedure ")
+        print(f"{item.name:<28} ~{functions:>3} function(s)  {item.description}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.driver.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {args.cache_dir}")
+        return 0
+    directory = cache.directory
+    count = len(list(directory.glob("*.json"))) if directory and directory.exists() else 0
+    print(f"{args.cache_dir}: {count} cached result(s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "corpus":
+        return _cmd_corpus(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,241 @@
+"""The end-to-end per-program pipeline the batch driver runs.
+
+Two layers:
+
+* :func:`analyze_function_job` — the unit of parallel fan-out and of
+  caching: parse → typecheck → path-matrix fixpoint → ADDS validation →
+  loop classification → transform applicability, for **one function**,
+  returned as a plain JSON-serializable dict (the worker pool and the
+  on-disk cache both speak dicts).
+* :func:`simulate_program` — the whole-program tail of the pipeline: run
+  the original on the reference interpreter, strip-mine every parallelizable
+  loop, re-run on the simulated multiprocessor, and report the speedup and
+  whether the heaps agree (the paper's semantics-preservation check).
+
+Workers keep a small per-process cache of parsed programs and analysis
+objects so analyzing the thirty functions of one program does not re-parse
+it thirty times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast_nodes import Call, IntLit, Program
+from repro.lang.errors import LangError
+from repro.lang.interpreter import Interpreter, run_program
+from repro.lang.parser import parse_program
+from repro.machine import SEQUENT_LIKE, MachineSimulator
+from repro.pathmatrix.analysis import AnalysisError, PathMatrixAnalysis
+from repro.transform.dependence import classify_loop, find_while_loops
+from repro.transform.pipeline import software_pipeline_loop
+from repro.transform.stripmine import TransformError, strip_mine_function, strip_mine_loop
+from repro.transform.unroll import unroll_loop
+
+
+@dataclass(frozen=True)
+class PipelineOptions:
+    """Everything that changes what the pipeline computes (part of cache keys)."""
+
+    solver: str = "worklist"
+    use_adds: bool = True
+    pes: int = 4
+    entry: str = "main"
+
+    def key(self) -> str:
+        return f"solver={self.solver};adds={self.use_adds};pes={self.pes};entry={self.entry}"
+
+
+# -- per-worker caches --------------------------------------------------------
+_PROGRAM_CACHE: dict[str, Program] = {}
+_ANALYSIS_CACHE: dict[tuple[str, str], PathMatrixAnalysis] = {}
+_CACHE_LIMIT = 8
+
+
+def _bounded(cache: dict, key, factory):
+    value = cache.get(key)
+    if value is None:
+        if len(cache) >= _CACHE_LIMIT:
+            cache.clear()
+        value = factory()
+        cache[key] = value
+    return value
+
+
+def parsed_program(source: str) -> Program:
+    return _bounded(_PROGRAM_CACHE, source, lambda: parse_program(source))
+
+
+def analysis_for(source: str, options: PipelineOptions) -> PathMatrixAnalysis:
+    return _bounded(
+        _ANALYSIS_CACHE,
+        (source, options.key()),
+        lambda: PathMatrixAnalysis(parsed_program(source), use_adds=options.use_adds),
+    )
+
+
+# -- the per-function job -----------------------------------------------------
+def analyze_function_job(
+    source: str, function: str, options: PipelineOptions
+) -> dict:
+    """Analyze one function of ``source`` end to end; never raises.
+
+    Unattended batch runs must finish: analysis failures are *reported* (the
+    ``error`` fields) rather than propagated.
+    """
+    program = parsed_program(source)
+    analysis = analysis_for(source, options)
+    report: dict = {
+        "function": function,
+        "solver": options.solver,
+        "summary": analysis.summaries[function].to_dict()
+        if function in analysis.summaries
+        else None,
+        "analysis": {},
+        "loops": [],
+    }
+
+    try:
+        result = analysis.analyze_function(function, solver=options.solver)
+        final = result.final_matrix()
+        report["analysis"] = {
+            "iterations": result.iterations,
+            "blocks_transferred": result.blocks_transferred,
+            "exit_matrix": final.to_table(),
+            "violations": [str(v) for v in result.violations()],
+            "abstraction_valid": {
+                type_name: final.validation.is_valid_for(type_name)
+                for type_name in sorted(analysis.adds_types)
+            },
+            "error": None,
+        }
+    except AnalysisError as exc:
+        report["analysis"] = {"error": str(exc)}
+        return report
+
+    for index, loop in enumerate(find_while_loops(program, function)):
+        test = classify_loop(program, function, loop, use_adds=options.use_adds)
+        entry: dict = {
+            "index": index,
+            "line": loop.line,
+            "classification": str(test.classification),
+            "traversal_var": test.traversal_var,
+            "traversal_field": test.traversal_field,
+            "reasons": list(test.reasons),
+            "transforms": {},
+        }
+        if test.parallelizable:
+            entry["transforms"] = _transform_applicability(program, function, index)
+        report["loops"].append(entry)
+    return report
+
+
+def _transform_applicability(program: Program, function: str, index: int) -> dict:
+    """Which of the three transformations apply to one parallelizable loop."""
+    outcomes: dict = {}
+    attempts = {
+        "strip_mine": lambda: strip_mine_loop(program, function, loop_index=index),
+        "unroll": lambda: unroll_loop(
+            program, function, factor=4, loop_index=index, check_dependences=True
+        ),
+        "software_pipeline": lambda: software_pipeline_loop(
+            program, function, loop_index=index
+        ),
+    }
+    for name, attempt in attempts.items():
+        try:
+            result = attempt()
+        except TransformError as exc:
+            outcomes[name] = {"applied": False, "error": str(exc)}
+        else:
+            outcomes[name] = {
+                "applied": True,
+                "notes": list(getattr(result, "notes", [])),
+            }
+    return outcomes
+
+
+def _job_worker(task: tuple[str, str, tuple]) -> dict:
+    """Top-level (picklable) pool entry point."""
+    source, function, options_tuple = task
+    return analyze_function_job(source, function, PipelineOptions(*options_tuple))
+
+
+# -- whole-program simulation -------------------------------------------------
+def _heap_fingerprint(interp: Interpreter) -> list:
+    """Order-independent digest of the heap's *data* fields (pointer fields
+    hold renamed references after a transformation, so only scalars count)."""
+    cells = []
+    for cell in interp.heap:
+        decl = interp._type_decls.get(cell.type_name)
+        fields = []
+        for name, value in sorted(cell.fields.items()):
+            fdecl = decl.field_named(name) if decl is not None else None
+            if fdecl is not None and (fdecl.is_pointer or fdecl.array_size is not None):
+                continue
+            if isinstance(value, float):
+                value = round(value, 9)
+            fields.append((name, value))
+        cells.append((cell.type_name, tuple(fields)))
+    return sorted(cells)
+
+
+def simulate_program(source: str, options: PipelineOptions) -> dict:
+    """Transform and replay one program on the simulated multiprocessor.
+
+    Returns a report dict; the ``status`` field is one of ``"simulated"``,
+    ``"no-entry"``, ``"no-parallel-loops"``, or ``"error"``.
+    """
+    program = parsed_program(source)
+    entry = program.function_named(options.entry)
+    if entry is None or entry.params:
+        return {"status": "no-entry", "entry": options.entry}
+
+    transformed = program
+    transformed_functions: list[str] = []
+    for func in program.functions:
+        if not find_while_loops(program, func.name):
+            continue
+        try:
+            result = strip_mine_function(transformed, func.name)
+        except TransformError:
+            continue
+        transformed = result.program
+        transformed_functions.append(func.name)
+    if not transformed_functions:
+        return {"status": "no-parallel-loops", "entry": options.entry}
+
+    # the strip-mined functions take the processor count as a new trailing
+    # argument: patch every call site in the transformed program
+    for func in transformed.functions:
+        for node in func.body.walk():
+            if isinstance(node, Call) and node.func in transformed_functions:
+                node.args.append(IntLit(options.pes))
+
+    try:
+        _, original = run_program(program, entry=options.entry)
+        interp = Interpreter(transformed)
+        simulator = MachineSimulator(SEQUENT_LIKE.with_pes(options.pes))
+        executor = simulator.attach_to_interpreter(interp)
+        entry_args: tuple = ()
+        if options.entry in transformed_functions:
+            entry_args = (options.pes,)
+        interp.call_function(options.entry, *entry_args)
+    except LangError as exc:
+        return {"status": "error", "entry": options.entry, "error": str(exc)}
+
+    trace = executor.trace
+    speedup = (
+        executor.sequential_cost / trace.elapsed if trace.elapsed > 0 else 1.0
+    )
+    return {
+        "status": "simulated",
+        "entry": options.entry,
+        "pes": options.pes,
+        "transformed_functions": transformed_functions,
+        "parallel_steps": trace.parallel_steps,
+        "parallel_elapsed": trace.elapsed,
+        "sequential_cost": executor.sequential_cost,
+        "speedup": speedup,
+        "heaps_match": _heap_fingerprint(interp) == _heap_fingerprint(original),
+    }

@@ -324,7 +324,7 @@ class For(Stmt):
 
 @dataclass
 class ParallelFor(Stmt):
-    """``for i = lo to hi in parallel { ... }`` — a doall loop.
+    """``for i = lo to hi [step s] in parallel { ... }`` — a doall loop.
 
     The strip-mining transformation of section 4.3.3 emits this construct;
     the interpreter executes it either sequentially (reference semantics) or
@@ -335,12 +335,15 @@ class ParallelFor(Stmt):
     lo: Expr
     hi: Expr
     body: Block
+    step: Expr | None = None
     line: int | None = None
     label: str | None = None
 
     def children(self) -> Iterator[Node]:
         yield self.lo
         yield self.hi
+        if self.step is not None:
+            yield self.step
         yield self.body
 
 

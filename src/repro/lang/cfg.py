@@ -236,7 +236,7 @@ class _CFGBuilder:
         body_entry = self.cfg.new_block("for.body")
         self.cfg.add_edge(header.index, body_entry.index)
         body_exit = self._lower_block(stmt.body, body_entry)
-        step: Expr = stmt.step if isinstance(stmt, For) and stmt.step is not None else IntLit(1)
+        step: Expr = stmt.step if stmt.step is not None else IntLit(1)
         incr = Assign(
             target=stmt.var,
             value=BinOp(op="+", left=Name(stmt.var), right=step),

@@ -59,6 +59,28 @@ from repro.lang.heap import Heap, NULL_REF
 from repro.lang.types import scalar_type
 
 
+def _both_ints(left: Any, right: Any) -> bool:
+    """True ints on both sides (bools are their own type in the toy language)."""
+    return (
+        isinstance(left, int) and not isinstance(left, bool)
+        and isinstance(right, int) and not isinstance(right, bool)
+    )
+
+
+def counted_loop_indices(lo: int, hi: int, step: int = 1) -> list[int]:
+    """The index sequence of ``for i = lo to hi step s`` (inclusive bounds).
+
+    Shared between the interpreter's reference semantics and the parallel
+    executors (which precompute the iteration space of a doall), so both
+    agree on step handling and on descending bounds.
+    """
+    if step == 0:
+        raise RuntimeLangError("for-loop step of zero")
+    if step > 0:
+        return list(range(lo, hi + 1, step))
+    return list(range(lo, hi - 1, step))
+
+
 class _ReturnSignal(Exception):
     """Internal control-flow signal used to unwind from ``return``."""
 
@@ -284,7 +306,8 @@ class Interpreter:
         else:
             self.heap.store(base, stmt.field, value)
 
-    def _execute_for(self, stmt: For, frame: Frame) -> None:
+    def _run_counted_loop(self, stmt: For | ParallelFor, frame: Frame) -> None:
+        """The shared reference semantics of both counted-loop forms."""
         lo = self.evaluate(stmt.lo, frame)
         hi = self.evaluate(stmt.hi, frame)
         step = self.evaluate(stmt.step, frame) if stmt.step is not None else 1
@@ -297,19 +320,19 @@ class Interpreter:
             self.execute_block(stmt.body, frame)
             i = frame.get(stmt.var) + step
 
+    def _execute_for(self, stmt: For, frame: Frame) -> None:
+        self._run_counted_loop(stmt, frame)
+
     def _execute_parallel_for(self, stmt: ParallelFor, frame: Frame) -> None:
         self.stats.parallel_loops += 1
         if self._parallel_executor is not None:
             self._parallel_executor(self, stmt, frame)
             return
         # Reference semantics: a doall loop whose iterations are independent
-        # computes the same result when run sequentially.
-        lo = self.evaluate(stmt.lo, frame)
-        hi = self.evaluate(stmt.hi, frame)
-        for i in range(lo, hi + 1):
-            frame.set(stmt.var, i)
-            self.stats.loop_iterations += 1
-            self.execute_block(stmt.body, frame)
+        # computes the same result when run sequentially — with exactly the
+        # ``for`` semantics (step, descending bounds, loop variable re-read
+        # after the body).
+        self._run_counted_loop(stmt, frame)
 
     # -- expressions ------------------------------------------------------------
     def evaluate(self, expr: Expr, frame: Frame) -> Any:
@@ -393,16 +416,23 @@ class Interpreter:
         if op == "*":
             return left * right
         if op == "/":
-            if isinstance(left, int) and isinstance(right, int):
+            if _both_ints(left, right):
                 if right == 0:
                     raise RuntimeLangError("integer division by zero", expr.line)
-                return left // right
+                # C-style: truncate toward zero (Python's // floors instead,
+                # so -7 / 2 must be -3, not -4)
+                return -(-left // right) if (left < 0) != (right < 0) else left // right
             if right == 0:
                 raise RuntimeLangError("division by zero", expr.line)
             return left / right
         if op == "%":
             if right == 0:
                 raise RuntimeLangError("modulo by zero", expr.line)
+            if _both_ints(left, right):
+                # C-style remainder: sign of the dividend, consistent with
+                # truncating division (l == (l / r) * r + l % r)
+                rem = abs(left) % abs(right)
+                return -rem if left < 0 else rem
             return left % right
         if op == "==":
             return left == right

@@ -330,7 +330,7 @@ class Parser:
             parallel = True
         body = self._parse_stmt_or_block()
         if parallel:
-            return ParallelFor(var=var, lo=lo, hi=hi, body=body, line=kw.line)
+            return ParallelFor(var=var, lo=lo, hi=hi, body=body, step=step, line=kw.line)
         return For(var=var, lo=lo, hi=hi, body=body, step=step, line=kw.line)
 
     def _parse_return(self) -> Return:

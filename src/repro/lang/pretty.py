@@ -149,9 +149,10 @@ class PrettyPrinter:
                 + self.block(stmt.body, level)
             )
         if isinstance(stmt, ParallelFor):
+            step = f" step {self.expr(stmt.step)}" if stmt.step is not None else ""
             return (
-                f"{pad}for {stmt.var} = {self.expr(stmt.lo)} to {self.expr(stmt.hi)} in parallel\n"
-                + self.block(stmt.body, level)
+                f"{pad}for {stmt.var} = {self.expr(stmt.lo)} to {self.expr(stmt.hi)}{step}"
+                f" in parallel\n" + self.block(stmt.body, level)
             )
         return f"{pad}/* <unprintable {type(stmt).__name__}> */"
 

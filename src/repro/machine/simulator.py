@@ -230,10 +230,13 @@ class InterpreterParallelExecutor:
         self.sequential_cost = 0.0
 
     def __call__(self, interpreter, stmt, frame) -> None:
+        from repro.lang.interpreter import counted_loop_indices
+
         lo = interpreter.evaluate(stmt.lo, frame)
         hi = interpreter.evaluate(stmt.hi, frame)
+        step = interpreter.evaluate(stmt.step, frame) if stmt.step is not None else 1
         costs: list[float] = []
-        for i in range(lo, hi + 1):
+        for i in counted_loop_indices(lo, hi, step):
             frame.set(stmt.var, i)
             before = interpreter.stats.total_operations()
             interpreter.stats.loop_iterations += 1

@@ -75,6 +75,53 @@ class FunctionSummary:
         """No field of any reachable structure is written."""
         return not self.data_fields_written and not self.pointer_fields_written
 
+    # -- export / import (the driver's on-disk cache stores these) ------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable, deterministic snapshot of this summary."""
+        return {
+            "name": self.name,
+            "data_fields_written": sorted(self.data_fields_written),
+            "pointer_fields_written": sorted(self.pointer_fields_written),
+            "fields_read": sorted(self.fields_read),
+            "written_params": sorted(self.written_params),
+            "writes_through_unknown": self.writes_through_unknown,
+            "may_return_params": sorted(self.may_return_params),
+            "pointer_params": sorted(self.pointer_params),
+            "allocates": self.allocates,
+            "returns_fresh": self.returns_fresh,
+            "returns_null": self.returns_null,
+            "callees": sorted(self.callees),
+            "rearranges_shape": self.rearranges_shape,
+            "preserves_abstraction": self.preserves_abstraction,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "FunctionSummary":
+        return FunctionSummary(
+            name=payload["name"],
+            data_fields_written=set(payload["data_fields_written"]),
+            pointer_fields_written=set(payload["pointer_fields_written"]),
+            fields_read=set(payload["fields_read"]),
+            written_params=set(payload["written_params"]),
+            writes_through_unknown=payload["writes_through_unknown"],
+            may_return_params=set(payload["may_return_params"]),
+            pointer_params=set(payload["pointer_params"]),
+            allocates=payload["allocates"],
+            returns_fresh=payload["returns_fresh"],
+            returns_null=payload["returns_null"],
+            callees=set(payload["callees"]),
+            rearranges_shape=payload["rearranges_shape"],
+            preserves_abstraction=payload["preserves_abstraction"],
+        )
+
+    def digest(self) -> str:
+        """A stable content hash of the summary (a cache-key ingredient)."""
+        import hashlib
+        import json
+
+        blob = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
     def describe(self) -> str:
         parts = [f"summary of {self.name}:"]
         parts.append(f"  data fields written: {sorted(self.data_fields_written) or '(none)'}")

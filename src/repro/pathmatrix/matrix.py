@@ -265,6 +265,27 @@ class PathMatrix:
             return False
         return self._entries == other._entries
 
+    # -- pickling ---------------------------------------------------------------
+    def __getstate__(self):
+        # the adjacency index and kill counter are rebuildable accelerator
+        # state; ship only the semantic content (entries re-intern on load
+        # because PathEntry reconstructs through its interning constructor)
+        return {
+            "variables": self.variables,
+            "entries": self._entries,
+            "nil_vars": self.nil_vars,
+            "violations": tuple(self.validation.violations),
+        }
+
+    def __setstate__(self, state):
+        self.variables = list(state["variables"])
+        self._var_set = set(self.variables)
+        self._entries = dict(state["entries"])
+        self._index = None
+        self._kills = 0
+        self.nil_vars = set(state["nil_vars"])
+        self.validation = ValidationState(state["violations"])
+
     # -- conservative construction ----------------------------------------------
     @staticmethod
     def conservative(variables: Iterable[str]) -> "PathMatrix":

@@ -84,6 +84,11 @@ class Relation:
             return Relation.make("path", self.field, plus=True, definite=self.definite)
         return self
 
+    def __reduce__(self):
+        # re-intern on unpickle so cross-process results keep the canonical
+        # one-object-per-relation property the memo tables rely on
+        return (Relation.make, (self.kind, self.field, self.plus, self.definite))
+
     def __str__(self) -> str:
         if self.is_alias:
             return "=" if self.definite else "=?"
@@ -232,6 +237,16 @@ class PathEntry:
     @staticmethod
     def _key(relation: Relation) -> tuple:
         return (relation.kind, relation.field, relation.plus)
+
+    # -- pickling ---------------------------------------------------------------
+    def __reduce__(self):
+        # Default __slots__ pickling would call ``PathEntry.__new__(cls)`` —
+        # which returns the interned EMPTY_ENTRY singleton — and then write
+        # slot state onto it, corrupting the canonical empty entry for the
+        # whole process.  Reconstructing through the constructor instead
+        # re-interns the entry (pointer-equality comparisons keep working on
+        # unpickled matrices).
+        return (PathEntry, (self.relations,))
 
     # -- presentation --------------------------------------------------------------
     def __str__(self) -> str:

@@ -87,6 +87,22 @@ class TransferContext:
     _field_owner_cache: dict = dc_field(default_factory=dict)
     _temp_names: dict = dc_field(default_factory=dict)
 
+    # -- pickling ---------------------------------------------------------------
+    def __getstate__(self):
+        # ``_relevance`` and ``_temp_names`` are keyed by ``id(stmt)`` of the
+        # AST that produced them; after unpickling the AST is a fresh object
+        # graph, so stale ids could collide with new ones and return wrong
+        # cached verdicts.  Drop every derived cache and let it rebuild.
+        state = self.__dict__.copy()
+        state["_relevance"] = {}
+        state["_temp_names"] = {}
+        state["_field_owner_cache"] = {}
+        state["properties"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     # -- lookup helpers -----------------------------------------------------
     def properties_of(self, type_name: str) -> DerivedProperties | None:
         if type_name in self.properties:
@@ -255,9 +271,36 @@ def apply_block(pm: PathMatrix, statements: list, ctx: TransferContext) -> PathM
 # ---------------------------------------------------------------------------
 # assignments to pointer variables
 # ---------------------------------------------------------------------------
+def _retarget_stale_violations(pm: PathMatrix, var: str) -> None:
+    """Before ``var`` is reassigned, re-key violations that name its old node.
+
+    Repairs are matched by parent-variable name (:meth:`ValidationState.
+    repair_parent_edge`), so a violation whose parent variable gets
+    reassigned between break and repair would wrongly be repaired by a later
+    store through the *new* node.  Hand the violation to another definite
+    alias of the old node when one exists; otherwise mark it stale
+    (unrepairable by name, hence conservatively outstanding).
+    """
+    violations = pm.validation.violations
+    if not violations:
+        return
+    if not any(var in (v.old_parent, v.new_parent) for v in violations):
+        return
+    replacement = None
+    for other in pm.variables:
+        if other != var and pm.must_alias(var, other):
+            replacement = other
+            break
+    pm.validation.retarget_variable(var, replacement)
+
+
 def _apply_pointer_assign(
     pm: PathMatrix, target: str, value: Expr, ctx: TransferContext, line: int | None
 ) -> None:
+    if not (isinstance(value, Name) and pm.must_alias(target, value.ident)):
+        # the assignment makes ``target`` name a (possibly) different node —
+        # unless it copies a variable already proven to alias it
+        _retarget_stale_violations(pm, target)
     if isinstance(value, NullLit):
         pm.set_nil(target)
         return

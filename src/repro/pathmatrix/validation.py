@@ -18,6 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import FrozenSet, Iterable
 
+#: suffix marking a violation parent whose variable was reassigned before the
+#: violation was repaired; no source-level variable can ever carry this name,
+#: so name-keyed repairs cannot match it
+STALE_MARKER = "#stale"
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -94,6 +99,30 @@ class ValidationState:
                 or (v.kind in ("cycle", "unknown_store") and v.new_parent in parents)
             )
         )
+
+    def retarget_variable(self, var: str, replacement: str | None = None) -> None:
+        """``var`` is being reassigned: it will name a *different* node.
+
+        Violations are keyed by the variable names that held the competing
+        edges, so a later repair through the reassigned ``var`` (now pointing
+        elsewhere) must not match.  Each violation mentioning ``var`` is
+        rewritten to ``replacement`` — another variable still naming the old
+        node — when the caller found one; otherwise to an opaque stale name
+        no repair can ever match, which keeps the violation outstanding (the
+        sound direction: the offending edge still exists, we merely lost the
+        name of its source node).
+        """
+        if not self.violations:
+            return
+        stale = replacement if replacement is not None else var + STALE_MARKER
+        updated = set()
+        for v in self.violations:
+            if v.old_parent == var:
+                v = replace(v, old_parent=stale)
+            if v.new_parent == var:
+                v = replace(v, new_parent=stale)
+            updated.add(v)
+        self.violations = frozenset(updated)
 
     # -- queries -----------------------------------------------------------------
     def is_valid(self) -> bool:

@@ -1,0 +1,184 @@
+"""Batch driver acceptance tests: caching, parallel fan-out, fidelity.
+
+The headline guarantees:
+
+* the driver's per-function reports match the single-function API
+  **bit-for-bit** on the paper examples,
+* a warm second run over the same corpus executes **zero** analyses
+  (everything is served from the on-disk cache),
+* a parallel run produces exactly the serial run's reports.
+"""
+
+import pytest
+
+from repro.driver.batch import BatchDriver
+from repro.driver.cache import function_digests
+from repro.driver.callgraph import build_call_graph
+from repro.driver.corpus import CorpusItem, corpus_named, paper_corpus
+from repro.driver.pipeline import PipelineOptions, simulate_program
+from repro.lang.parser import parse_program
+from repro.pathmatrix import PathMatrixAnalysis
+from repro.pathmatrix.interproc import summarize_program
+
+
+@pytest.fixture(scope="module")
+def paper_items():
+    return paper_corpus()
+
+
+def _function_payloads(report):
+    """Only the per-function dicts, for whole-run equality comparisons."""
+    return {p.name: p.functions for p in report.programs}
+
+
+class TestFidelity:
+    def test_driver_matches_single_function_api_bit_for_bit(self, paper_items):
+        driver = BatchDriver(jobs=1, cache_dir=None, simulate=False)
+        batch = driver.analyze_corpus(paper_items)
+        for item in paper_items:
+            program = parse_program(item.source)
+            analysis = PathMatrixAnalysis(program)
+            functions = batch.program(item.name).functions
+            assert set(functions) == {f.name for f in program.functions}
+            for func in program.functions:
+                direct = analysis.analyze_function(func.name)
+                reported = functions[func.name]["analysis"]
+                assert reported["error"] is None
+                assert reported["exit_matrix"] == direct.final_matrix().to_table()
+                assert reported["iterations"] == direct.iterations
+                assert reported["blocks_transferred"] == direct.blocks_transferred
+                assert reported["violations"] == [str(v) for v in direct.violations()]
+
+    def test_bhl_loops_classified_parallelizable(self, paper_items):
+        driver = BatchDriver(jobs=1, cache_dir=None, simulate=False)
+        batch = driver.analyze_corpus(paper_items)
+        functions = batch.program("paper/barnes_hut").functions
+        for name in ("bh_force_pass", "bh_update_pass"):
+            (loop,) = functions[name]["loops"]
+            assert loop["classification"] == "doall-after-traversal"
+            assert loop["transforms"]["strip_mine"]["applied"]
+
+
+class TestCaching:
+    def test_warm_run_executes_no_analyses(self, tmp_path, paper_items):
+        cold = BatchDriver(jobs=1, cache_dir=tmp_path).analyze_corpus(paper_items)
+        assert cold.analyses_executed > 0
+
+        warm_driver = BatchDriver(jobs=1, cache_dir=tmp_path)
+        warm = warm_driver.analyze_corpus(paper_items)
+        # the acceptance criterion: strictly fewer analyses on the warm run —
+        # in fact none at all, and every simulation is served from cache too
+        assert warm.analyses_executed < cold.analyses_executed
+        assert warm.analyses_executed == 0
+        assert warm.cache_hits == cold.analyses_executed + cold.cache_hits
+        assert warm.simulation_cache_hits == len(paper_items)
+        assert _function_payloads(warm) == _function_payloads(cold)
+        for item in paper_items:
+            assert warm.program(item.name).simulation == cold.program(item.name).simulation
+
+    def _digests(self, src):
+        from repro.adds.library import standard_source
+
+        program = parse_program(standard_source("ListNode") + src)
+        return function_digests(
+            program,
+            build_call_graph(program),
+            summarize_program(program),
+            PipelineOptions().key(),
+        )
+
+    BASE = """
+    function leaf(p) { return p->next; }
+    function caller(p) { return leaf(p); }
+    function unrelated(q) { q->coef = 1; return q; }
+    """
+
+    def test_summary_changing_edit_invalidates_the_caller(self):
+        edited = self.BASE.replace(
+            "function leaf(p) { return p->next; }",
+            "function leaf(p) { p->exp = 0; return p->next; }",
+        )
+        before, after = self._digests(self.BASE), self._digests(edited)
+        assert before["leaf"] != after["leaf"]
+        assert before["caller"] != after["caller"]  # callee summary changed
+        assert before["unrelated"] == after["unrelated"]
+
+    def test_summary_preserving_edit_leaves_callers_cached(self):
+        """Callers depend on callees only through their summaries: an edit
+        that keeps the callee's summary unchanged must not invalidate them."""
+        edited = self.BASE.replace("return p->next;", "return p->next->next;")
+        before, after = self._digests(self.BASE), self._digests(edited)
+        assert before["leaf"] != after["leaf"]  # its own AST changed
+        assert before["caller"] == after["caller"]
+        assert before["unrelated"] == after["unrelated"]
+
+    def test_options_partition_the_cache(self, tmp_path, paper_items):
+        item = [paper_items[0]]
+        a = BatchDriver(jobs=1, cache_dir=tmp_path).analyze_corpus(item)
+        b = BatchDriver(
+            jobs=1,
+            cache_dir=tmp_path,
+            options=PipelineOptions(use_adds=False),
+        ).analyze_corpus(item)
+        # different options must not reuse each other's entries
+        assert a.analyses_executed > 0 and b.analyses_executed > 0
+        assert b.cache_hits == 0
+
+    def test_disabled_cache_always_recomputes(self, paper_items):
+        driver = BatchDriver(jobs=1, cache_dir=None)
+        first = driver.analyze_corpus([paper_items[0]])
+        second = driver.analyze_corpus([paper_items[0]])
+        assert first.analyses_executed == second.analyses_executed > 0
+
+
+class TestParallelExecution:
+    def test_parallel_run_matches_serial(self, paper_items):
+        serial = BatchDriver(jobs=1, cache_dir=None, simulate=False)
+        parallel = BatchDriver(jobs=2, cache_dir=None, simulate=False)
+        assert _function_payloads(parallel.analyze_corpus(paper_items)) == (
+            _function_payloads(serial.analyze_corpus(paper_items))
+        )
+
+    def test_parallel_builtin_corpus_completes(self, tmp_path):
+        items = corpus_named("builtin")
+        batch = BatchDriver(jobs=4, cache_dir=tmp_path).analyze_corpus(items)
+        assert not any(p.error for p in batch.programs)
+        assert batch.function_count() >= 30
+
+
+class TestSimulationStage:
+    def test_polynomial_program_simulates_with_speedup(self, paper_items):
+        item = next(i for i in paper_items if i.name == "paper/polynomial_scale")
+        sim = simulate_program(item.source, PipelineOptions())
+        assert sim["status"] == "simulated"
+        assert sim["heaps_match"]
+        assert sim["speedup"] > 1.0
+        assert "scale" in sim["transformed_functions"]
+
+    def test_program_without_entry_reports_no_entry(self, paper_items):
+        item = next(i for i in paper_items if i.name == "paper/subtree_move")
+        sim = simulate_program(item.source, PipelineOptions())
+        assert sim["status"] == "no-entry"
+
+    def test_program_without_parallel_loops(self):
+        from repro.adds.library import standard_source
+
+        source = standard_source("ListNode") + (
+            "function main() { var p; p = new ListNode; p->coef = 1; return p; }"
+        )
+        sim = simulate_program(source, PipelineOptions())
+        assert sim["status"] == "no-parallel-loops"
+
+
+class TestRobustness:
+    def test_parse_error_is_reported_not_raised(self, tmp_path):
+        items = [CorpusItem(name="bad", source="function { nope")]
+        batch = BatchDriver(jobs=1, cache_dir=tmp_path).analyze_corpus(items)
+        report = batch.program("bad")
+        assert report.error is not None and "parse" in report.error
+
+    def test_bad_program_does_not_abort_the_batch(self, paper_items):
+        items = [CorpusItem(name="bad", source="type T {")] + [paper_items[0]]
+        batch = BatchDriver(jobs=1, cache_dir=None).analyze_corpus(items)
+        assert batch.program("bad").error is not None
+        assert batch.program(paper_items[0].name).functions

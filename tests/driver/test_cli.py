@@ -1,0 +1,111 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.driver.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestAnalyzeCommand:
+    def test_paper_corpus_text_report(self, tmp_path, capsys):
+        code = main(
+            ["analyze", "--corpus", "paper", "--cache-dir", str(tmp_path / "cache")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "paper/barnes_hut" in out
+        assert "doall-after-traversal" in out
+        assert "simulated on 4 PEs" in out
+
+    def test_json_report_round_trips(self, tmp_path, capsys):
+        output = tmp_path / "report.json"
+        code = main(
+            [
+                "analyze",
+                "--corpus",
+                "paper",
+                "--no-cache",
+                "--no-simulate",
+                "--format",
+                "json",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        written = json.loads(output.read_text())
+        assert printed == written
+        assert written["stats"]["programs"] == 3
+        assert written["stats"]["analyses_executed"] > 0
+
+    def test_source_file_arguments(self, tmp_path, capsys):
+        source = REPO_ROOT / "examples" / "corpus" / "list_sum.ptr"
+        code = main(["analyze", str(source), "--no-cache"])
+        assert code == 0
+        assert "list_sum" in capsys.readouterr().out
+
+    def test_no_inputs_is_a_usage_error(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "no inputs" in capsys.readouterr().err
+
+    def test_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "absent.ptr")]) == 2
+
+    def test_parse_error_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ptr"
+        bad.write_text("function { nope")
+        assert main(["analyze", str(bad), "--no-cache"]) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_corpus_listing(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "paper/barnes_hut" in out
+        assert "stress/" in out
+        assert "examples/list_sum" in out
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        main(["analyze", "--corpus", "paper", "--no-simulate",
+              "--cache-dir", str(cache_dir)])
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(cache_dir)]) == 0
+        assert "cached result(s)" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", str(cache_dir), "--clear"]) == 0
+        assert not list(cache_dir.glob("*.json"))
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, tmp_path):
+        """The acceptance command: a real subprocess through ``-m repro``."""
+        env_path = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "analyze",
+                "--corpus",
+                "paper",
+                "--jobs",
+                "2",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+            cwd=str(REPO_ROOT),
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "from cache" in proc.stdout

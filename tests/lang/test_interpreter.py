@@ -55,6 +55,116 @@ class TestArithmeticAndControlFlow:
         with pytest.raises(RuntimeLangError):
             run_program(program, entry="f", args=(0,))
 
+
+#: both counted-loop forms must share the same reference semantics
+LOOP_KINDS = ["", " in parallel"]
+
+
+class TestCountedLoopSemantics:
+    """``for`` and ``for .. in parallel`` agree on step, bounds, and the
+    loop variable (the parallel form previously ignored all three)."""
+
+    @pytest.mark.parametrize("parallel", LOOP_KINDS)
+    def test_positive_step(self, parallel):
+        program = parse_program(
+            "function f() { var s; s = 0; "
+            f"for i = 1 to 9 step 3{parallel} {{ s = s + i; }} return s; }}"
+        )
+        result, interp = run_program(program, entry="f")
+        assert result == 1 + 4 + 7
+        assert interp.stats.loop_iterations == 3
+
+    @pytest.mark.parametrize("parallel", LOOP_KINDS)
+    def test_descending_bounds_with_negative_step(self, parallel):
+        program = parse_program(
+            "function f() { var s; s = 0; "
+            f"for i = 5 to 1 step 0 - 2{parallel} {{ s = s + i; }} return s; }}"
+        )
+        result, interp = run_program(program, entry="f")
+        assert result == 5 + 3 + 1
+        assert interp.stats.loop_iterations == 3
+
+    @pytest.mark.parametrize("parallel", LOOP_KINDS)
+    def test_empty_range_runs_zero_iterations(self, parallel):
+        program = parse_program(
+            "function f() { var s; s = 0; "
+            f"for i = 3 to 1{parallel} {{ s = s + 1; }} return s; }}"
+        )
+        result, interp = run_program(program, entry="f")
+        assert result == 0
+        assert interp.stats.loop_iterations == 0
+
+    @pytest.mark.parametrize("parallel", LOOP_KINDS)
+    def test_body_update_of_loop_variable_is_honored(self, parallel):
+        program = parse_program(
+            "function f() { var n; n = 0; "
+            f"for i = 1 to 10{parallel} {{ n = n + 1; i = i + 1; }} return n; }}"
+        )
+        result, _ = run_program(program, entry="f")
+        assert result == 5  # the body advances i too, so the loop halves
+
+    @pytest.mark.parametrize("parallel", LOOP_KINDS)
+    def test_zero_step_raises(self, parallel):
+        program = parse_program(
+            f"function f() {{ for i = 1 to 3 step 0{parallel} {{ }} return 0; }}"
+        )
+        with pytest.raises(RuntimeLangError):
+            run_program(program, entry="f")
+
+    def test_both_kinds_compute_identical_sums(self):
+        results = []
+        for parallel in LOOP_KINDS:
+            program = parse_program(
+                "function f() { var s; s = 0; "
+                f"for i = 10 to 2 step 0 - 3{parallel} {{ s = s * 10 + i; }} return s; }}"
+            )
+            result, _ = run_program(program, entry="f")
+            results.append(result)
+        assert results[0] == results[1] == 1074
+
+
+class TestCStyleIntegerArithmetic:
+    """Integer ``/`` truncates toward zero and ``%`` takes the dividend's
+    sign, as in the modeled C-like language (Python floors instead)."""
+
+    @pytest.mark.parametrize(
+        "expr, expected",
+        [
+            ("(0 - 7) / 2", -3),   # Python floor division would say -4
+            ("7 / (0 - 2)", -3),   # ... and -4 here
+            ("(0 - 7) / (0 - 2)", 3),
+            ("7 / 2", 3),
+            ("(0 - 7) % 2", -1),   # Python % would say 1
+            ("7 % (0 - 2)", 1),    # ... and -1 here
+            ("(0 - 7) % (0 - 2)", -1),
+            ("7 % 2", 1),
+        ],
+    )
+    def test_negative_operands(self, expr, expected):
+        program = parse_program(f"function f() {{ return ({expr}); }}")
+        result, _ = run_program(program, entry="f")
+        assert result == expected
+
+    def test_division_identity_holds(self):
+        # l == (l / r) * r + l % r for every sign combination
+        for left in (-7, 7):
+            for right in (-2, 2):
+                program = parse_program(
+                    "function f(l, r) { return (l / r) * r + l % r; }"
+                )
+                result, _ = run_program(program, entry="f", args=(left, right))
+                assert result == left, (left, right)
+
+    def test_float_division_unchanged(self):
+        program = parse_program("function f() { return (0.0 - 7.0) / 2.0; }")
+        result, _ = run_program(program, entry="f")
+        assert result == pytest.approx(-3.5)
+
+    def test_modulo_by_zero_raises(self):
+        program = parse_program("function f(x) { return 1 % x; }")
+        with pytest.raises(RuntimeLangError):
+            run_program(program, entry="f", args=(0,))
+
     def test_builtin_functions(self):
         program = parse_program("function f(x) { return sqrt(x) + abs(0 - 2); }")
         result, _ = run_program(program, entry="f", args=(9.0,))

@@ -1,0 +1,87 @@
+"""Pickling guarantees for the analysis value types.
+
+The batch driver fans function analyses out across a ``multiprocessing``
+pool and memoizes results on disk, so matrices, entries, and whole
+:class:`AnalysisResult` objects must survive a pickle round-trip — and the
+interned singletons (``EMPTY_ENTRY`` above all) must come back *as the
+canonical objects*, not as corrupted or duplicate instances.
+"""
+
+import pickle
+
+from repro.adds.library import merged_into
+from repro.pathmatrix import (
+    EMPTY_ENTRY,
+    PathEntry,
+    PathMatrix,
+    PathMatrixAnalysis,
+    Relation,
+    summarize_program,
+)
+from repro.pathmatrix.interproc import FunctionSummary
+
+
+class TestEntryInterning:
+    def test_empty_entry_round_trips_to_the_singleton(self):
+        restored = pickle.loads(pickle.dumps(EMPTY_ENTRY))
+        assert restored is EMPTY_ENTRY
+        # the singleton must be untouched by the round-trip
+        assert EMPTY_ENTRY.is_empty()
+
+    def test_nonempty_entries_reintern(self):
+        entry = PathEntry([Relation.path("next", plus=True), Relation.alias(False)])
+        restored = pickle.loads(pickle.dumps(entry))
+        assert restored is entry
+
+    def test_relations_reintern(self):
+        rel = Relation.path("left", plus=False, definite=False)
+        assert pickle.loads(pickle.dumps(rel)) is Relation.make(
+            "path", "left", False, False
+        )
+
+
+class TestMatrixAndResultPickling:
+    def _analyze(self, scale_program):
+        return PathMatrixAnalysis(scale_program).analyze_function("scale")
+
+    def test_matrix_round_trip_preserves_facts(self, scale_program):
+        result = self._analyze(scale_program)
+        pm = result.final_matrix()
+        restored = pickle.loads(pickle.dumps(pm))
+        assert isinstance(restored, PathMatrix)
+        assert restored.equivalent(pm)
+        assert restored.to_table() == pm.to_table()
+
+    def test_analysis_result_round_trip(self, scale_program):
+        result = self._analyze(scale_program)
+        restored = pickle.loads(pickle.dumps(result))
+        assert restored.function == "scale"
+        assert restored.iterations == result.iterations
+        assert restored.final_matrix().to_table() == result.final_matrix().to_table()
+        # the restored context must still drive a fresh analysis correctly
+        assert restored.ctx.pointer_vars == result.ctx.pointer_vars
+
+    def test_restored_context_caches_are_reset(self, scale_program):
+        result = self._analyze(scale_program)
+        restored = pickle.loads(pickle.dumps(result))
+        # id()-keyed caches must not leak across the process boundary
+        assert restored.ctx._relevance == {}
+        assert restored.ctx._temp_names == {}
+
+
+class TestSummaryExportImport:
+    def test_round_trip_is_lossless(self):
+        program = merged_into(
+            "function f(p, n) { p->coef = n; p->next = NULL; return p; }", "ListNode"
+        )
+        summary = summarize_program(program)["f"]
+        clone = FunctionSummary.from_dict(summary.to_dict())
+        assert clone.to_dict() == summary.to_dict()
+        assert clone.digest() == summary.digest()
+
+    def test_digest_tracks_content(self):
+        a = FunctionSummary(name="f")
+        b = FunctionSummary(name="f")
+        assert a.digest() == b.digest()
+        b.data_fields_written.add("coef")
+        assert a.digest() != b.digest()

@@ -42,6 +42,116 @@ class TestViolationObjects:
         assert str(b) == "valid"
 
 
+def _step_through(source: str, function: str):
+    """Apply ``function``'s top-level statements one by one, yielding the
+    matrix after each (the paper's statement-level validation trace)."""
+    from repro.pathmatrix import PathMatrixAnalysis, apply_statement
+
+    program = merged_into(source, "BinTree")
+    analysis = PathMatrixAnalysis(program)
+    func = program.function_named(function)
+    assert func is not None
+    ctx = analysis._context_for(func)
+    pm = analysis.initial_matrix(func, ctx)
+    states = []
+    for stmt in func.body.statements:
+        pm = apply_statement(pm, stmt, ctx)
+        states.append(pm)
+    return program, states
+
+
+class TestAbstractionRepairLifecycle:
+    """Section 3.3.1: temporary breaks are repaired — unless the parent
+    pointer variable was reassigned in between (the repair is name-keyed)."""
+
+    def test_subtree_move_breaks_then_repairs(self):
+        source = """
+        procedure move(p1, p2)
+        { p1->left = p2->left;
+          p2->left = NULL;
+        }
+        """
+        program, states = _step_through(source, "move")
+        assert not states[0].validation.is_valid_for("BinTree")
+        assert any(v.kind == "sharing" for v in states[0].validation.violations)
+        assert states[1].validation.is_valid_for("BinTree")
+        # and the whole-function fixpoint agrees
+        result = analyze_function(program, "move")
+        assert result.final_matrix().validation.is_valid_for("BinTree")
+
+    def test_reassigned_parent_does_not_repair(self):
+        """Nulling through the *new* node of a reassigned variable must not
+        repair a violation recorded against the variable's old node."""
+        source = """
+        procedure move(p1, p2, p3)
+        { p1->left = p2->left;
+          p2 = p3;
+          p2->left = NULL;
+        }
+        """
+        program, states = _step_through(source, "move")
+        assert not states[0].validation.is_valid_for("BinTree")
+        # the reassignment keeps the violation outstanding, under a stale key
+        assert not states[1].validation.is_valid_for("BinTree")
+        # ... and the null store through the new node does not repair it
+        assert not states[2].validation.is_valid_for("BinTree")
+        result = analyze_function(program, "move")
+        assert not result.final_matrix().validation.is_valid_for("BinTree")
+
+    def test_repair_through_definite_alias_of_old_parent(self):
+        source = """
+        procedure move(p1, p2)
+        { var q;
+          q = p2;
+          p1->left = p2->left;
+          q->left = NULL;
+        }
+        """
+        # statements: [var q] [q = p2] [break] [repair-through-q]
+        program, states = _step_through(source, "move")
+        assert not states[2].validation.is_valid_for("BinTree")
+        assert states[3].validation.is_valid_for("BinTree")
+
+    def test_violation_survives_reassignment_via_surviving_alias(self):
+        """When another variable still names the old parent node, the
+        violation is handed to it and remains repairable through it."""
+        source = """
+        procedure move(p1, p2, p3)
+        { var q;
+          q = p2;
+          p1->left = p2->left;
+          p2 = p3;
+          q->left = NULL;
+        }
+        """
+        # statements: [var q] [q = p2] [break] [p2 = p3] [repair-through-q]
+        program, states = _step_through(source, "move")
+        assert not states[2].validation.is_valid_for("BinTree")
+        assert not states[3].validation.is_valid_for("BinTree")
+        assert any(
+            v.old_parent == "q" for v in states[3].validation.violations
+        ), "violation should be re-keyed to the surviving alias"
+        assert states[4].validation.is_valid_for("BinTree")
+
+    def test_retarget_variable_unit_behaviour(self):
+        state = ValidationState(
+            [Violation("sharing", "BinTree", "left", new_parent="a", old_parent="b")]
+        )
+        state.retarget_variable("b", replacement=None)
+        # the stale key can never be repaired by a source-level variable name
+        state.repair_parent_edge(["b"], "left")
+        assert not state.is_valid()
+        (v,) = state.violations
+        assert v.old_parent.startswith("b") and v.old_parent != "b"
+        # with a replacement, the violation follows the surviving name
+        state2 = ValidationState(
+            [Violation("cycle", "BinTree", "left", new_parent="x")]
+        )
+        state2.retarget_variable("x", replacement="y")
+        state2.repair_parent_edge(["y"], "left")
+        assert state2.is_valid()
+
+
 class TestSummaryEdgeCases:
     def test_returns_null_function(self):
         program = merged_into("function nothing(p) { p->coef = 1; return NULL; }", "ListNode")
