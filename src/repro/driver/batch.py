@@ -5,9 +5,9 @@ graph, and schedules its strongly connected components bottom-up (callees
 before callers — the order the paper validates Barnes–Hut in).  Components
 with no ordering constraint form a *wave*; the functions of a wave fan out
 across a ``multiprocessing`` pool.  Each function's report is memoized in
-the on-disk :class:`~repro.driver.cache.ResultCache` keyed by its AST and
-its transitive callees' summary digests, so a warm re-run performs no
-analysis at all (the acceptance test asserts exactly that).
+the on-disk :class:`~repro.driver.cache.ResultCache` keyed by its own AST
+and the unparsed bodies of its transitive callees, so a warm re-run performs
+no analysis at all (the acceptance test asserts exactly that).
 """
 
 from __future__ import annotations
@@ -16,7 +16,6 @@ import time
 from dataclasses import astuple, dataclass, field
 
 from repro.lang.errors import LangError
-from repro.pathmatrix.interproc import summarize_program
 
 from repro.driver.cache import ResultCache, function_digests, program_digest
 from repro.driver.callgraph import bottom_up_waves, build_call_graph
@@ -117,7 +116,15 @@ class BatchDriver:
             if self.jobs > 1:
                 import multiprocessing
 
-                try:  # fork shares the parsed-program caches with the workers
+                # parse everything up front so a forked worker inherits the
+                # populated parsed-program cache instead of re-parsing each
+                # program from its task payload
+                for item in items:
+                    try:
+                        parsed_program(item.source)
+                    except LangError:
+                        pass  # _analyze_item reports it per program
+                try:
                     ctx = multiprocessing.get_context("fork")
                 except ValueError:  # pragma: no cover - non-POSIX hosts
                     ctx = multiprocessing.get_context("spawn")
@@ -141,14 +148,13 @@ class BatchDriver:
             return report
 
         try:
-            summaries = summarize_program(program)
             graph = build_call_graph(program)
             waves = bottom_up_waves(graph)
         except LangError as exc:  # defensive: malformed programs must not abort the batch
             report.error = str(exc)
             return report
         report.schedule = waves
-        digests = function_digests(program, graph, summaries, self.options.key())
+        digests = function_digests(program, graph, self.options.key())
 
         options_tuple = astuple(self.options)
         for wave in waves:

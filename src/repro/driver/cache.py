@@ -4,8 +4,11 @@ A function's cached report is keyed by a content hash of everything that can
 influence it: the analysis version and options, the program's type
 declarations (ADDS information changes verdicts), the function's own
 unparsed AST, and — per the bottom-up interprocedural discipline — the
-side-effect summary digests of every transitive callee.  Editing a leaf
-invalidates its whole caller chain; editing a comment-free unrelated
+unparsed bodies of every transitive callee.  (Callee *bodies*, not just
+their side-effect summaries: derived verdicts such as abstraction
+preservation are settled by later analysis passes over the body, and the
+summaries themselves are a function of the hashed bodies and types anyway.)
+Editing a leaf invalidates its whole caller chain; editing an unrelated
 function invalidates nothing else.
 """
 
@@ -13,16 +16,18 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 
 from repro.lang.ast_nodes import Program
 from repro.lang.pretty import unparse
-from repro.pathmatrix.interproc import FunctionSummary
 
 from repro.driver.callgraph import CallGraph
 
 #: bump when the per-function report schema or analysis semantics change
-CACHE_VERSION = 1
+#: (2: parallel-for gained the sequential for's step/descending/re-read
+#: semantics, so cached simulation reports from version 1 may be stale)
+CACHE_VERSION = 2
 
 
 def _sha(*parts: str) -> str:
@@ -41,26 +46,24 @@ def program_digest(source: str, options_key: str) -> str:
 def function_digests(
     program: Program,
     graph: CallGraph,
-    summaries: dict[str, FunctionSummary],
     options_key: str,
 ) -> dict[str, str]:
-    """Per-function cache keys: AST hash + transitive callee summary hashes."""
+    """Per-function cache keys: own AST hash + transitive callee body hashes."""
     types_src = "\n".join(unparse(t) for t in program.types)
-    summary_digests = {
-        name: summary.digest() for name, summary in summaries.items()
-    }
+    unparsed = {f.name: unparse(f) for f in program.functions}
+    body_digests = {name: _sha("body", src) for name, src in unparsed.items()}
     digests: dict[str, str] = {}
     for func in program.functions:
         callees = sorted(graph.transitive_callees(func.name))
         callee_part = ";".join(
-            f"{c}:{summary_digests.get(c, '?')}" for c in callees
+            f"{c}:{body_digests.get(c, '?')}" for c in callees
         )
         digests[func.name] = _sha(
             "function",
             str(CACHE_VERSION),
             options_key,
             types_src,
-            unparse(func),
+            unparsed[func.name],
             callee_part,
         )
     return digests
@@ -105,9 +108,16 @@ class ResultCache:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        tmp = path.with_suffix(".json.tmp")
+        # per-process tmp name: two runs racing on the same key must not
+        # share a scratch file, or one publishes the other's torn write
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
-        tmp.replace(path)  # atomic publish: concurrent runs see full files
+        try:
+            tmp.replace(path)  # atomic publish: concurrent runs see full files
+        except OSError:
+            # a concurrent `cache --clear` swept our scratch file; the cache
+            # is best-effort, so losing one write must not abort the batch
+            return
         self.writes += 1
 
     def clear(self) -> int:
@@ -118,6 +128,10 @@ class ResultCache:
         for path in self.directory.glob("*.json"):
             path.unlink(missing_ok=True)
             removed += 1
+        # scratch files orphaned by a crashed writer (pid-suffixed, so a
+        # later run never reuses them)
+        for tmp in self.directory.glob("*.tmp"):
+            tmp.unlink(missing_ok=True)
         return removed
 
     def stats(self) -> dict:

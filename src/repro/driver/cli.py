@@ -168,7 +168,25 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(render_text(report))
-    return 1 if any(p.error for p in report.programs) else 0
+    return 1 if _report_failed(report) else 0
+
+
+def _report_failed(report: BatchReport) -> bool:
+    """Anything the batch could not fully process: parse errors, failed
+    per-function analyses, simulation errors, heap mismatches.  The CI smoke
+    job relies on this — a silently degraded pipeline must not exit 0."""
+    for program in report.programs:
+        if program.error:
+            return True
+        for func in program.functions.values():
+            if func.get("analysis", {}).get("error"):
+                return True
+        sim = program.simulation
+        if sim is not None and (
+            sim.get("status") == "error" or sim.get("heaps_match") is False
+        ):
+            return True
+    return False
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:

@@ -49,7 +49,7 @@ class PipelineOptions:
 # -- per-worker caches --------------------------------------------------------
 _PROGRAM_CACHE: dict[str, Program] = {}
 _ANALYSIS_CACHE: dict[tuple[str, str], PathMatrixAnalysis] = {}
-_CACHE_LIMIT = 8
+_CACHE_LIMIT = 32  # comfortably fits the built-in corpus (sources are small)
 
 
 def _bounded(cache: dict, key, factory):
@@ -70,7 +70,9 @@ def analysis_for(source: str, options: PipelineOptions) -> PathMatrixAnalysis:
     return _bounded(
         _ANALYSIS_CACHE,
         (source, options.key()),
-        lambda: PathMatrixAnalysis(parsed_program(source), use_adds=options.use_adds),
+        lambda: PathMatrixAnalysis(
+            parsed_program(source), use_adds=options.use_adds, memoize_results=True
+        ),
     )
 
 
@@ -114,7 +116,9 @@ def analyze_function_job(
         return report
 
     for index, loop in enumerate(find_while_loops(program, function)):
-        test = classify_loop(program, function, loop, use_adds=options.use_adds)
+        test = classify_loop(
+            program, function, loop, use_adds=options.use_adds, analysis=analysis
+        )
         entry: dict = {
             "index": index,
             "line": loop.line,

@@ -67,20 +67,6 @@ def _both_ints(left: Any, right: Any) -> bool:
     )
 
 
-def counted_loop_indices(lo: int, hi: int, step: int = 1) -> list[int]:
-    """The index sequence of ``for i = lo to hi step s`` (inclusive bounds).
-
-    Shared between the interpreter's reference semantics and the parallel
-    executors (which precompute the iteration space of a doall), so both
-    agree on step handling and on descending bounds.
-    """
-    if step == 0:
-        raise RuntimeLangError("for-loop step of zero")
-    if step > 0:
-        return list(range(lo, hi + 1, step))
-    return list(range(lo, hi - 1, step))
-
-
 class _ReturnSignal(Exception):
     """Internal control-flow signal used to unwind from ``return``."""
 
@@ -306,8 +292,20 @@ class Interpreter:
         else:
             self.heap.store(base, stmt.field, value)
 
-    def _run_counted_loop(self, stmt: For | ParallelFor, frame: Frame) -> None:
-        """The shared reference semantics of both counted-loop forms."""
+    def run_counted_loop(
+        self, stmt: For | ParallelFor, frame: Frame, body=None
+    ) -> None:
+        """The shared reference semantics of both counted-loop forms.
+
+        ``body`` replaces the plain body execution of one iteration — the
+        machine simulator's parallel executor wraps it in cost measurement.
+        Routing every executor through this one loop is what guarantees a
+        simulated run can never diverge from the reference interpreter on
+        step handling, descending bounds, or the loop-variable re-read.
+        """
+        if body is None:
+            def body() -> None:
+                self.execute_block(stmt.body, frame)
         lo = self.evaluate(stmt.lo, frame)
         hi = self.evaluate(stmt.hi, frame)
         step = self.evaluate(stmt.step, frame) if stmt.step is not None else 1
@@ -317,11 +315,11 @@ class Interpreter:
         while (step > 0 and i <= hi) or (step < 0 and i >= hi):
             frame.set(stmt.var, i)
             self.stats.loop_iterations += 1
-            self.execute_block(stmt.body, frame)
+            body()
             i = frame.get(stmt.var) + step
 
     def _execute_for(self, stmt: For, frame: Frame) -> None:
-        self._run_counted_loop(stmt, frame)
+        self.run_counted_loop(stmt, frame)
 
     def _execute_parallel_for(self, stmt: ParallelFor, frame: Frame) -> None:
         self.stats.parallel_loops += 1
@@ -332,7 +330,7 @@ class Interpreter:
         # computes the same result when run sequentially — with exactly the
         # ``for`` semantics (step, descending bounds, loop variable re-read
         # after the body).
-        self._run_counted_loop(stmt, frame)
+        self.run_counted_loop(stmt, frame)
 
     # -- expressions ------------------------------------------------------------
     def evaluate(self, expr: Expr, frame: Frame) -> Any:

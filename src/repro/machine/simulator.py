@@ -230,18 +230,16 @@ class InterpreterParallelExecutor:
         self.sequential_cost = 0.0
 
     def __call__(self, interpreter, stmt, frame) -> None:
-        from repro.lang.interpreter import counted_loop_indices
-
-        lo = interpreter.evaluate(stmt.lo, frame)
-        hi = interpreter.evaluate(stmt.hi, frame)
-        step = interpreter.evaluate(stmt.step, frame) if stmt.step is not None else 1
         costs: list[float] = []
-        for i in counted_loop_indices(lo, hi, step):
-            frame.set(stmt.var, i)
+
+        def measured_body() -> None:
             before = interpreter.stats.total_operations()
-            interpreter.stats.loop_iterations += 1
             interpreter.execute_block(stmt.body, frame)
-            after = interpreter.stats.total_operations()
-            costs.append(float(after - before))
+            costs.append(float(interpreter.stats.total_operations() - before))
+
+        # the reference loop drives the iterations, so the simulated run
+        # shares its exact semantics (step, descending bounds, loop-variable
+        # re-read); only the per-iteration cost measurement is ours
+        interpreter.run_counted_loop(stmt, frame, body=measured_body)
         self.sequential_cost += sum(costs)
         self.trace.add_step(self.simulator._step(costs))

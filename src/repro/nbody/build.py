@@ -92,12 +92,6 @@ def insert_particle(
     node = root
     depth = 0
     while True:
-        depth += 1
-        if depth > max_depth:
-            raise RuntimeError(
-                "octree insertion exceeded the maximum depth; are two particles "
-                "at exactly the same position?"
-            )
         if stats is not None:
             stats.insert_descents += 1
         if node.is_empty:
@@ -119,6 +113,16 @@ def insert_particle(
             )
             node.subtrees[index] = child
         node = child
+        # depth counts actual tree levels, not loop iterations: a subdivision
+        # re-examines the same node via `continue` and must not be charged a
+        # level, or near-coincident particles trip the cap at half the
+        # advertised depth
+        depth += 1
+        if depth > max_depth:
+            raise RuntimeError(
+                "octree insertion exceeded the maximum depth; are two particles "
+                "at exactly the same position?"
+            )
 
 
 def _push_down(node: OctreeNode, particle: Particle) -> None:

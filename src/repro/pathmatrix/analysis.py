@@ -116,9 +116,14 @@ class PathMatrixAnalysis:
         program: Program,
         use_adds: bool = True,
         compute_summaries: bool = True,
+        memoize_results: bool = False,
     ):
         self.program = program
         self.use_adds = use_adds
+        # disabled while summaries are still being refined below; the batch
+        # driver opts in (it re-analyzes the same functions per loop), timing
+        # code must NOT (a memo hit would be measured instead of the solver)
+        self._result_memo: "dict[tuple[str, str], AnalysisResult] | None" = None
         self.check_result = check_program(program)
         self.adds_types = program_adds_types(program)
         self.summaries: dict[str, FunctionSummary] = (
@@ -126,6 +131,8 @@ class PathMatrixAnalysis:
         )
         if compute_summaries:
             self._mark_abstraction_preserving_summaries()
+        if memoize_results:  # summaries are frozen from here on
+            self._result_memo = {}
 
     # -- context construction ------------------------------------------------
     def _context_for(self, func: FunctionDecl) -> TransferContext:
@@ -192,6 +199,11 @@ class PathMatrixAnalysis:
         golden/performance baseline — it re-applies the original
         copy-per-statement transfer and dense matrix comparison).
         """
+        memo_key = (name, solver) if initial is None else None
+        if memo_key is not None and self._result_memo is not None:
+            memoized = self._result_memo.get(memo_key)
+            if memoized is not None:
+                return memoized
         func = self.program.function_named(name)
         if func is None:
             raise KeyError(f"no function named {name!r}")
@@ -226,6 +238,8 @@ class PathMatrixAnalysis:
         result.blocks_transferred = stats.blocks_transferred
         result.entry_matrices = entry
         result.exit_matrices = exit_
+        if memo_key is not None and self._result_memo is not None:
+            self._result_memo[memo_key] = result
         return result
 
     def analyze_all(self, solver: str = "worklist") -> dict[str, AnalysisResult]:
@@ -408,6 +422,7 @@ def analyze_loop_dependence(
     function_name: str,
     loop: While | None = None,
     use_adds: bool = True,
+    analysis: "PathMatrixAnalysis | None" = None,
 ) -> LoopDependenceReport:
     """Analyze a pointer-traversal loop for loop-carried dependences.
 
@@ -416,8 +431,20 @@ def analyze_loop_dependence(
     to "may the loop's iterations be executed in parallel (modulo the
     sequential traversal)?" — the question the strip-mining transformation
     of section 4.3.3 needs answered.
+
+    Callers that already hold a :class:`PathMatrixAnalysis` of ``program``
+    built with the same ``use_adds`` may pass it as ``analysis`` to reuse
+    its summaries — and, when it was constructed with
+    ``memoize_results=True``, its fixpoint results (the batch driver
+    classifies many loops of one program).
     """
-    analysis = PathMatrixAnalysis(program, use_adds=use_adds)
+    if analysis is None:
+        analysis = PathMatrixAnalysis(program, use_adds=use_adds)
+    elif analysis.program is not program or analysis.use_adds != use_adds:
+        raise ValueError(
+            "the supplied analysis was built for a different program object "
+            "or use_adds setting than this dependence query"
+        )
     func = program.function_named(function_name)
     if func is None:
         raise KeyError(f"no function named {function_name!r}")

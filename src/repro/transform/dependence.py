@@ -69,6 +69,7 @@ def classify_loop(
     function_name: str,
     loop: While | None = None,
     use_adds: bool = True,
+    analysis=None,
 ) -> DependenceTest:
     """Dependence-test one traversal loop of ``function_name``.
 
@@ -86,7 +87,9 @@ def classify_loop(
             )
         loop = loops[0]
 
-    report = analyze_loop_dependence(program, function_name, loop, use_adds=use_adds)
+    report = analyze_loop_dependence(
+        program, function_name, loop, use_adds=use_adds, analysis=analysis
+    )
 
     if not report.induction_vars:
         return DependenceTest(

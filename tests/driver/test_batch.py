@@ -18,7 +18,6 @@ from repro.driver.corpus import CorpusItem, corpus_named, paper_corpus
 from repro.driver.pipeline import PipelineOptions, simulate_program
 from repro.lang.parser import parse_program
 from repro.pathmatrix import PathMatrixAnalysis
-from repro.pathmatrix.interproc import summarize_program
 
 
 @pytest.fixture(scope="module")
@@ -83,7 +82,6 @@ class TestCaching:
         return function_digests(
             program,
             build_call_graph(program),
-            summarize_program(program),
             PipelineOptions().key(),
         )
 
@@ -100,16 +98,19 @@ class TestCaching:
         )
         before, after = self._digests(self.BASE), self._digests(edited)
         assert before["leaf"] != after["leaf"]
-        assert before["caller"] != after["caller"]  # callee summary changed
+        assert before["caller"] != after["caller"]  # callee body changed
         assert before["unrelated"] == after["unrelated"]
 
-    def test_summary_preserving_edit_leaves_callers_cached(self):
-        """Callers depend on callees only through their summaries: an edit
-        that keeps the callee's summary unchanged must not invalidate them."""
+    def test_summary_preserving_edit_still_invalidates_callers(self):
+        """Editing a callee invalidates its callers even when the raw
+        side-effect summary is unchanged: derived verdicts (such as
+        abstraction preservation) are settled by later analysis passes over
+        the callee's *body*, so a summary-only key could serve stale caller
+        reports.  Unrelated functions stay cached."""
         edited = self.BASE.replace("return p->next;", "return p->next->next;")
         before, after = self._digests(self.BASE), self._digests(edited)
         assert before["leaf"] != after["leaf"]  # its own AST changed
-        assert before["caller"] == after["caller"]
+        assert before["caller"] != after["caller"]  # callee body changed
         assert before["unrelated"] == after["unrelated"]
 
     def test_options_partition_the_cache(self, tmp_path, paper_items):

@@ -98,6 +98,26 @@ class TestTreeBuild:
         assert stats.subdivisions >= 1
         assert root.check_invariants() == []
 
+    def test_nearly_coincident_particles_build(self):
+        """Separating points 1e-12 apart needs ~40 tree levels; the depth cap
+        must count levels, not subdivision loop iterations (which reach the
+        same level twice), or this trips the 64-level cap at level 32."""
+        particles = [
+            Particle(ident=0, position=Vec3(0.0, 0.0, 0.0)),
+            Particle(ident=1, position=Vec3(0.0, 0.0, 1e-12)),
+        ]
+        root, _ = build_tree(particles)
+        assert root.count_particles() == 2
+        assert root.check_invariants() == []
+
+    def test_exactly_coincident_particles_still_capped(self):
+        particles = [
+            Particle(ident=0, position=Vec3(1.0, 2.0, 3.0)),
+            Particle(ident=1, position=Vec3(1.0, 2.0, 3.0)),
+        ]
+        with pytest.raises(RuntimeError, match="maximum depth"):
+            build_tree(particles)
+
     def test_identical_positions_raise(self):
         a = Particle(ident=0, position=Vec3(0.5, 0.5, 0.5))
         b = Particle(ident=1, position=Vec3(0.5, 0.5, 0.5))
