@@ -5,11 +5,24 @@ Usage::
 
     python benchmarks/compare_bench.py OLD.json NEW.json [--threshold 0.2]
                                        [--key worklist_s]
+    python benchmarks/compare_bench.py --check-scaling BENCH_driver.json
+                                       [--min-ratio 1.0]
 
-Scenarios are matched by name.  A scenario regresses when its timing key in
-NEW exceeds OLD by more than ``threshold`` (default 20%).  Scenarios present
-in only one file are reported but do not fail the comparison.  Exit status:
-0 when no regression, 1 on regression, 2 on usage/parse errors.
+**Diff mode** (two positional snapshots): scenarios are matched by name.  A
+scenario regresses when its timing key in NEW exceeds OLD by more than
+``threshold`` (default 20%).  Scenarios present in only one file are
+reported but do not fail the comparison.
+
+**Scaling mode** (``--check-scaling``): reads one ``BENCH_driver.json``
+snapshot and fails when the recorded ``parallel_4_vs_serial`` throughput
+ratio falls below the floor.  The floor is host-aware: on a multi-core host
+the parallel driver must at least match serial (floor 1.0); on a
+single-core host the parallel scenarios measure pure scheduling/IPC
+overhead, so the floor relaxes to 0.85 — parallel may pay a few percent,
+never a collapse.  ``--min-ratio`` overrides the floor explicitly.
+
+Exit status: 0 when no regression, 1 on regression, 2 on usage/parse
+errors.
 """
 
 from __future__ import annotations
@@ -18,6 +31,13 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+#: floor for parallel_4/serial throughput on a multi-core host
+MULTI_CORE_FLOOR = 1.0
+#: floor on a single-core host, where workers only add overhead
+SINGLE_CORE_FLOOR = 0.85
+#: the scaling ratio the CI gate judges
+SCALING_KEY = "parallel_4_vs_serial"
 
 
 def load(path: str) -> dict:
@@ -32,10 +52,42 @@ def scenarios_by_name(payload: dict) -> dict[str, dict]:
     return {row["scenario"]: row for row in payload.get("scenarios", [])}
 
 
+def scaling_floor(payload: dict, min_ratio: float | None) -> float:
+    if min_ratio is not None:
+        return min_ratio
+    host_cpus = payload.get("host_cpus") or 1
+    return MULTI_CORE_FLOOR if host_cpus > 1 else SINGLE_CORE_FLOOR
+
+
+def check_scaling(payload: dict, min_ratio: float | None) -> int:
+    scaling = payload.get("scaling")
+    if not scaling:
+        print("error: snapshot has no 'scaling' section (schema < 2?)", file=sys.stderr)
+        return 2
+    ratio = scaling.get(SCALING_KEY)
+    if ratio is None:
+        print(f"error: snapshot has no {SCALING_KEY!r} ratio", file=sys.stderr)
+        return 2
+    floor = scaling_floor(payload, min_ratio)
+    host_cpus = payload.get("host_cpus") or 1
+    print(f"host_cpus: {host_cpus}   floor: {floor:.2f}")
+    for name in sorted(scaling):
+        print(f"  {name:<24} {scaling[name]:.3f}x")
+    if ratio < floor:
+        print(
+            f"\nFAIL: {SCALING_KEY} = {ratio:.3f}x is below the "
+            f"{floor:.2f}x floor — the parallel driver is slower than it "
+            f"is allowed to be on this host"
+        )
+        return 1
+    print(f"\nOK: {SCALING_KEY} = {ratio:.3f}x >= {floor:.2f}x")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("old", help="baseline BENCH_*.json")
-    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("old", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("new", nargs="?", help="candidate BENCH_*.json")
     parser.add_argument(
         "--threshold",
         type=float,
@@ -47,7 +99,27 @@ def main(argv: list[str] | None = None) -> int:
         default="worklist_s",
         help="per-scenario timing key to compare (default: worklist_s)",
     )
+    parser.add_argument(
+        "--check-scaling",
+        metavar="SNAPSHOT",
+        help="check the parallel-vs-serial scaling ratio of one driver snapshot",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=None,
+        help="override the host-aware scaling floor (with --check-scaling)",
+    )
     args = parser.parse_args(argv)
+
+    if args.check_scaling:
+        if args.old or args.new:
+            print("error: --check-scaling takes no OLD/NEW snapshots", file=sys.stderr)
+            return 2
+        return check_scaling(load(args.check_scaling), args.min_ratio)
+    if not args.old or not args.new:
+        print("error: diff mode needs OLD and NEW snapshots", file=sys.stderr)
+        return 2
 
     old = scenarios_by_name(load(args.old))
     new = scenarios_by_name(load(args.new))

@@ -75,3 +75,60 @@ def test_unreadable_file_exits_2(tmp_path):
     with pytest.raises(SystemExit) as exc:
         compare_bench.main([str(bad), good])
     assert exc.value.code == 2
+
+
+# -- scaling mode --------------------------------------------------------------
+def _driver_snapshot(path: Path, ratio: float, host_cpus: int) -> str:
+    payload = {
+        "schema": 2,
+        "host_cpus": host_cpus,
+        "scaling": {
+            "parallel_2_vs_serial": ratio,
+            "parallel_4_vs_serial": ratio,
+            "parallel_8_vs_serial": ratio,
+        },
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_scaling_floor_is_host_aware():
+    assert compare_bench.scaling_floor({"host_cpus": 8}, None) == 1.0
+    assert compare_bench.scaling_floor({"host_cpus": 1}, None) == 0.85
+    assert compare_bench.scaling_floor({}, None) == 0.85  # missing → assume 1 cpu
+    assert compare_bench.scaling_floor({"host_cpus": 8}, 2.5) == 2.5
+
+
+def test_scaling_pass_on_single_core_parity(tmp_path, capsys):
+    snap = _driver_snapshot(tmp_path / "b.json", ratio=0.95, host_cpus=1)
+    assert compare_bench.main(["--check-scaling", snap]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_scaling_collapse_fails_even_on_single_core(tmp_path, capsys):
+    snap = _driver_snapshot(tmp_path / "b.json", ratio=0.5, host_cpus=1)
+    assert compare_bench.main(["--check-scaling", snap]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_scaling_multi_core_requires_speedup_floor(tmp_path):
+    # 0.95x is fine on one core but a failure on a real multi-core host
+    snap = _driver_snapshot(tmp_path / "b.json", ratio=0.95, host_cpus=8)
+    assert compare_bench.main(["--check-scaling", snap]) == 1
+
+
+def test_scaling_min_ratio_override(tmp_path):
+    snap = _driver_snapshot(tmp_path / "b.json", ratio=2.6, host_cpus=8)
+    assert compare_bench.main(["--check-scaling", snap, "--min-ratio", "2.5"]) == 0
+    assert compare_bench.main(["--check-scaling", snap, "--min-ratio", "3.0"]) == 1
+
+
+def test_scaling_missing_section_exits_2(tmp_path):
+    path = tmp_path / "old-schema.json"
+    path.write_text(json.dumps({"schema": 1, "scenarios": []}))
+    assert compare_bench.main(["--check-scaling", str(path)]) == 2
+
+
+def test_scaling_mode_rejects_positional_snapshots(tmp_path):
+    snap = _driver_snapshot(tmp_path / "b.json", ratio=1.0, host_cpus=1)
+    assert compare_bench.main(["--check-scaling", snap, snap]) == 2

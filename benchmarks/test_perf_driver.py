@@ -1,16 +1,27 @@
 """Throughput benchmark for the whole-program batch driver.
 
-Times three configurations over the built-in corpus — cold serial, cold
-parallel, and warm (fully cached) — and writes ``BENCH_driver.json`` at the
-repository root so future PRs can track driver throughput alongside the
-fixpoint-core numbers in ``BENCH_pathmatrix.json``.  Compare snapshots with
-``python benchmarks/compare_bench.py OLD.json NEW.json --key elapsed_s``.
+Times five configurations over the ``bench`` corpus (the built-in corpus
+plus a ~200-function call web, so scheduling and chunking actually matter)
+and writes ``BENCH_driver.json`` at the repository root:
 
-The only *hard* assertions are deterministic ones: a warm run must execute
-zero analyses, and every configuration must produce identical per-function
-reports.  Wall-clock numbers are recorded, not gated (CI machines vary).
+* ``cold_serial``      — jobs=1, fresh cache (the inline, no-pool path),
+* ``warm_serial``      — jobs=1 over the cold run's cache (pure cache read),
+* ``cold_parallel_2/4/8`` — persistent worker pool, fresh cache each.
 
-Set ``REPRO_FULL=1`` for the paper-sized stress corpus.
+Every cold scenario gets its own empty cache directory and must execute
+exactly one analysis per function with **zero** cache hits — a cold run
+that reports hits means either the cache was dirty or two corpus functions
+are content-identical, both of which previously went unnoticed.  The warm
+run must execute zero analyses.  All configurations must produce identical
+per-function reports (the parallel path is bit-identical to serial).
+
+Wall-clock numbers are recorded, not gated (CI machines vary); the snapshot
+records ``host_cpus`` so scaling ratios can be judged in context — on a
+single-core container the parallel scenarios measure pure overhead and land
+near 1.0x.  ``python benchmarks/compare_bench.py --check-scaling
+BENCH_driver.json`` gates on that ratio host-awarely.
+
+Set ``REPRO_FULL=1`` for the paper-sized corpus.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ import pytest
 
 from repro.driver.batch import BatchDriver
 from repro.driver.corpus import corpus_named
+from repro.driver.executor import preferred_start_method
 
 
 def full_runs_requested() -> bool:
@@ -33,6 +45,8 @@ def full_runs_requested() -> bool:
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_PATH = REPO_ROOT / "BENCH_driver.json"
 
+PARALLEL_JOBS = (2, 4, 8)
+
 
 def _run(items, jobs, cache_dir):
     started = time.perf_counter()
@@ -41,53 +55,67 @@ def _run(items, jobs, cache_dir):
     return batch, elapsed
 
 
+def _row(scenario, jobs, batch, elapsed, functions):
+    row = {
+        "scenario": scenario,
+        "jobs": jobs,
+        "elapsed_s": elapsed,
+        "functions": functions,
+        "functions_per_s": functions / elapsed if elapsed else float("inf"),
+        "analyses_executed": batch.analyses_executed,
+        "cache_hits": batch.cache_hits,
+    }
+    stats = batch.to_dict()["stats"]
+    row["start_method"] = stats.get("start_method")
+    if stats.get("profile"):
+        row["profile_totals"] = stats["profile"]["totals"]
+    return row
+
+
 @pytest.fixture(scope="module")
 def measurements(tmp_path_factory):
-    items = corpus_named("builtin", full=full_runs_requested())
-    cache_dir = tmp_path_factory.mktemp("driver-cache")
-    jobs = 4 if full_runs_requested() else 2
+    items = corpus_named("bench", full=full_runs_requested())
 
-    cold, cold_s = _run(items, 1, cache_dir)
-    warm, warm_s = _run(items, 1, cache_dir)
-    parallel, parallel_s = _run(items, jobs, tmp_path_factory.mktemp("parallel-cache"))
-
+    serial_cache = tmp_path_factory.mktemp("cache-serial")
+    cold, cold_s = _run(items, 1, serial_cache)
+    warm, warm_s = _run(items, 1, serial_cache)
     functions = cold.function_count()
+
     rows = [
-        {
-            "scenario": "cold_serial",
-            "jobs": 1,
-            "elapsed_s": cold_s,
-            "functions": functions,
-            "functions_per_s": functions / cold_s if cold_s else float("inf"),
-            "analyses_executed": cold.analyses_executed,
-            "cache_hits": cold.cache_hits,
-        },
-        {
-            "scenario": "warm_serial",
-            "jobs": 1,
-            "elapsed_s": warm_s,
-            "functions": functions,
-            "functions_per_s": functions / warm_s if warm_s else float("inf"),
-            "analyses_executed": warm.analyses_executed,
-            "cache_hits": warm.cache_hits,
-        },
-        {
-            "scenario": f"cold_parallel_{jobs}",
-            "jobs": jobs,
-            "elapsed_s": parallel_s,
-            "functions": functions,
-            "functions_per_s": functions / parallel_s if parallel_s else float("inf"),
-            "analyses_executed": parallel.analyses_executed,
-            "cache_hits": parallel.cache_hits,
-        },
+        _row("cold_serial", 1, cold, cold_s, functions),
+        _row("warm_serial", 1, warm, warm_s, functions),
     ]
-    return {"items": items, "cold": cold, "warm": warm, "parallel": parallel, "rows": rows}
+    parallel_runs = {}
+    for jobs in PARALLEL_JOBS:
+        # a fresh, empty cache per scenario: cold means cold
+        batch, elapsed = _run(items, jobs, tmp_path_factory.mktemp(f"cache-p{jobs}"))
+        parallel_runs[jobs] = batch
+        rows.append(_row(f"cold_parallel_{jobs}", jobs, batch, elapsed, functions))
+    return {
+        "items": items,
+        "cold": cold,
+        "warm": warm,
+        "parallel_runs": parallel_runs,
+        "rows": rows,
+    }
 
 
 def test_corpus_is_substantial(measurements):
     assert len(measurements["items"]) >= 8
-    assert measurements["cold"].function_count() >= 30
+    assert measurements["cold"].function_count() >= 200
     assert not any(p.error for p in measurements["cold"].programs)
+
+
+def test_cold_runs_execute_every_function_exactly_once(measurements):
+    """A cold run over an empty cache analyzes each function once — no
+    hits (would mean content-identical corpus functions or a dirty cache)
+    and no repeats."""
+    functions = measurements["cold"].function_count()
+    for row in measurements["rows"]:
+        if not row["scenario"].startswith("cold_"):
+            continue
+        assert row["cache_hits"] == 0, row["scenario"]
+        assert row["analyses_executed"] == functions, row["scenario"]
 
 
 def test_warm_run_is_fully_cached(measurements):
@@ -100,31 +128,42 @@ def test_warm_run_is_fully_cached(measurements):
         assert cold_p.functions == warm_p.functions
 
 
-def test_parallel_run_matches_serial(measurements):
+def test_parallel_runs_match_serial(measurements):
     cold = measurements["cold"]
-    parallel = measurements["parallel"]
-    for cold_p, par_p in zip(cold.programs, parallel.programs):
-        assert cold_p.functions == par_p.functions
-        assert cold_p.simulation == par_p.simulation
+    for jobs, parallel in measurements["parallel_runs"].items():
+        for cold_p, par_p in zip(cold.programs, parallel.programs):
+            assert cold_p.functions == par_p.functions, (jobs, cold_p.name)
+            assert cold_p.simulation == par_p.simulation, (jobs, cold_p.name)
 
 
 def test_warm_run_is_faster_than_cold(measurements):
     rows = {r["scenario"]: r for r in measurements["rows"]}
-    # reading ~40 small JSON files must beat re-running ~40 fixpoints; the
-    # margin is enormous in practice, so this is safe to gate on
+    # reading small JSON files must beat re-running hundreds of fixpoints;
+    # the margin is enormous in practice, so this is safe to gate on
     assert rows["warm_serial"]["elapsed_s"] < rows["cold_serial"]["elapsed_s"]
 
 
 def test_emit_bench_json(measurements):
     rows = measurements["rows"]
+    by_name = {r["scenario"]: r for r in rows}
+    serial_rate = by_name["cold_serial"]["functions_per_s"]
+    scaling = {
+        f"parallel_{jobs}_vs_serial": by_name[f"cold_parallel_{jobs}"]["functions_per_s"]
+        / serial_rate
+        for jobs in PARALLEL_JOBS
+    }
     payload = {
-        "schema": 1,
+        "schema": 2,
         "suite": "driver_batch",
         "mode": "full" if full_runs_requested() else "quick",
+        "host_cpus": os.cpu_count() or 1,
+        "start_method": preferred_start_method(),
         "corpus_programs": len(measurements["items"]),
         "corpus_functions": measurements["cold"].function_count(),
         "scenarios": rows,
+        "scaling": scaling,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     written = json.loads(BENCH_PATH.read_text())
     assert written["scenarios"], "benchmark file must record at least one scenario"
+    assert written["scaling"], "benchmark file must record scaling ratios"

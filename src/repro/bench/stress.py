@@ -142,6 +142,102 @@ def random_program_source(
     return "\n".join(lines)
 
 
+def call_web_program_source(
+    num_functions: int = 200,
+    seed: int = 0,
+    max_fanout: int = 3,
+    recursive_every: int = 40,
+    prefix: str = "web",
+) -> str:
+    """A program of ``num_functions`` small functions over a call DAG.
+
+    This is the batch scheduler's stress corpus: many cheap work units whose
+    call graph has both width (many independent leaves per depth layer) and
+    depth (callers that only become runnable once their callees land), plus
+    a mutually recursive pair every ``recursive_every`` functions so the
+    condensation contains components larger than one function.  Every body
+    embeds its function index in a constant and every name carries
+    ``prefix``, so no two functions — within one web or across differently
+    prefixed webs of one corpus — are content-identical: a cold run must
+    execute exactly ``num_functions`` analyses (the benchmark asserts that).
+
+    Bodies are deliberately tiny (a few data-field writes, up to
+    ``max_fanout`` calls into lower layers; every eighth function carries a
+    parallelizable traversal loop, which is where the per-function pipeline
+    gets expensive): most units are far cheaper than one task dispatch,
+    which is exactly the regime the executor's cost-model chunking exists
+    for.
+    """
+    rng = random.Random(seed)
+    lines: list[str] = []
+    for i in range(num_functions):
+        callees: list[int] = []
+        if i > 0:
+            # callees come from a recent window so the DAG gains depth
+            # instead of every function calling the same few leaves
+            window_lo = max(0, i - 25)
+            for _ in range(rng.randrange(max_fanout + 1)):
+                callees.append(rng.randrange(window_lo, i))
+        # mutually recursive pairs: web{k} <-> web{k+1} for k = 1 mod period
+        recursive_partner = None
+        if recursive_every:
+            if i % recursive_every == 1 and i + 1 < num_functions:
+                recursive_partner = i + 1
+            elif i % recursive_every == 2 and i >= 1:
+                recursive_partner = i - 1
+        if recursive_partner is not None:
+            callees.append(recursive_partner)
+
+        body: list[str] = [
+            f"function {prefix}{i}(h)",
+            "{",
+            "  var p;",
+            "  var q;",
+            "  p = h;",
+        ]
+        kind = i % 8
+        if kind == 0:
+            body += [
+                "  while p <> NULL",
+                "  {",
+                f"    p->coef = p->coef + {i + 1};",
+                "    p = p->next;",
+                "  }",
+                "  p = h;",
+            ]
+        elif kind in (2, 5):
+            body += [
+                "  q = new ListNode;",
+                f"  q->coef = {i + 1};",
+                f"  q->exp = {i};",
+                "  p = q;",
+            ]
+        elif kind in (3, 7):
+            body += [
+                "  q = p->next;",
+                f"  q->exp = q->exp + {i + 1};",
+                "  q = q->next;",
+                f"  q->coef = {i};",
+            ]
+        else:
+            body += [
+                f"  p->exp = {i + 1};",
+                "  p = p->next;",
+                f"  p->coef = {i + 1};",
+            ]
+        for j in sorted(set(callees)):
+            if j == recursive_partner:  # recursion stays behind a guard
+                body += [
+                    f"  if p->coef > {i}",
+                    f"  {{ p = {prefix}{j}(p); }}",
+                ]
+            else:
+                body.append(f"  p = {prefix}{j}(p);")
+        body += ["  return p;", "}"]
+        lines.extend(body)
+    return "\n".join(lines)
+
+
 def wide_program(num_vars: int = 50, scalar_run: int = 4) -> Program:
     return merged_into(wide_program_source(num_vars, scalar_run), "ListNode")
 

@@ -1,28 +1,46 @@
-"""The whole-program batch driver: SCC-ordered, pooled, memoized analysis.
+"""The whole-program batch driver: ready-queue scheduled, memoized analysis.
 
 For every corpus program the driver parses the source, builds the call
-graph, and schedules its strongly connected components bottom-up (callees
-before callers — the order the paper validates Barnes–Hut in).  Components
-with no ordering constraint form a *wave*; the functions of a wave fan out
-across a ``multiprocessing`` pool.  Each function's report is memoized in
-the on-disk :class:`~repro.driver.cache.ResultCache` keyed by its own AST
-and the unparsed bodies of its transitive callees, so a warm re-run performs
-no analysis at all (the acceptance test asserts exactly that).
+graph, and condenses it into strongly-connected components.  Components are
+scheduled **bottom-up by dependency count** (callees before callers — the
+order the paper validates Barnes–Hut in): each component carries a count of
+not-yet-landed callee components, and the moment that count reaches zero it
+is runnable, whatever else is still in flight.  There is no wave barrier —
+only true call-graph edges ever delay work, and components from *different
+programs* interleave freely on the same worker pool.
+
+With ``jobs > 1`` runnable components are packed into cost-balanced chunks
+(:func:`repro.driver.executor.pack_chunks`) and pulled by a pool of
+persistent warm workers; ``jobs == 1`` bypasses the executor entirely and
+runs the same schedule inline (easy profiling and debugging, zero
+multiprocessing overhead).  Every function's report is memoized in the
+on-disk :class:`~repro.driver.cache.ResultCache` keyed by its own AST and
+the unparsed bodies of its transitive callees, so a warm re-run performs no
+analysis at all (the acceptance test asserts exactly that).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import astuple, dataclass, field
+from dataclasses import dataclass, field
 
 from repro.lang.errors import LangError
+from repro.pathmatrix.interproc import summaries_from_payloads
 
 from repro.driver.cache import ResultCache, function_digests, program_digest
-from repro.driver.callgraph import bottom_up_waves, build_call_graph
+from repro.driver.callgraph import Condensation, build_call_graph, condense
 from repro.driver.corpus import CorpusItem
+from repro.driver.executor import (
+    PersistentExecutor,
+    Task,
+    TaskTiming,
+    estimate_cost,
+    pack_chunks,
+    warm_parsed_programs,
+)
 from repro.driver.pipeline import (
     PipelineOptions,
-    _job_worker,
+    analyze_function_job,
     parsed_program,
     simulate_program,
 )
@@ -34,10 +52,17 @@ class ProgramReport:
 
     name: str
     functions: dict[str, dict] = field(default_factory=dict)
-    #: bottom-up schedule actually used, wave by wave (SCCs as name lists)
+    #: bottom-up schedule by depth, wave by wave (SCCs as name lists) —
+    #: a human-readable view; actual dispatch is by ready-count
     schedule: list[list[list[str]]] = field(default_factory=list)
     simulation: dict | None = None
     error: str | None = None
+
+    def summaries(self):
+        """Re-interned :class:`FunctionSummary` objects, one per function."""
+        return summaries_from_payloads(
+            payload.get("summary") for payload in self.functions.values()
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -61,7 +86,10 @@ class BatchReport:
     #: whole-program simulations served from the cache
     simulation_cache_hits: int = 0
     jobs: int = 1
+    start_method: str | None = None
     elapsed_s: float = 0.0
+    #: aggregate task timing breakdown; ``tasks`` detail only with profiling
+    profile: dict | None = None
 
     def program(self, name: str) -> ProgramReport:
         for report in self.programs:
@@ -73,26 +101,77 @@ class BatchReport:
         return sum(len(p.functions) for p in self.programs)
 
     def to_dict(self) -> dict:
+        stats = {
+            "programs": len(self.programs),
+            "functions": self.function_count(),
+            "analyses_executed": self.analyses_executed,
+            "cache_hits": self.cache_hits,
+            "simulation_cache_hits": self.simulation_cache_hits,
+            "jobs": self.jobs,
+            "start_method": self.start_method,
+            "elapsed_s": self.elapsed_s,
+        }
+        if self.profile is not None:
+            stats["profile"] = self.profile
         return {
             "programs": [p.to_dict() for p in self.programs],
-            "stats": {
-                "programs": len(self.programs),
-                "functions": self.function_count(),
-                "analyses_executed": self.analyses_executed,
-                "cache_hits": self.cache_hits,
-                "simulation_cache_hits": self.simulation_cache_hits,
-                "jobs": self.jobs,
-                "elapsed_s": self.elapsed_s,
-            },
+            "stats": stats,
         }
+
+
+class BatchExecutionError(RuntimeError):
+    """The batch could not run to completion (e.g. a worker crashed)."""
+
+
+@dataclass
+class _ProgramPlan:
+    """Coordinator-side scheduling state for one corpus program."""
+
+    index: int
+    item: CorpusItem
+    report: ProgramReport
+    cond: Condensation | None = None
+    digests: dict[str, str] = field(default_factory=dict)
+    #: component -> cache-missed functions still to analyze
+    pending: dict[int, list[str]] = field(default_factory=dict)
+    #: component -> estimated analysis cost of its pending functions
+    costs: dict[int, int] = field(default_factory=dict)
+    #: component -> count of not-yet-landed callee components
+    blockers: dict[int, int] = field(default_factory=dict)
+    landed: set[int] = field(default_factory=set)
+    #: runnable components not yet packed into a chunk
+    ready: list[int] = field(default_factory=list)
+    sim_key: str | None = None
+    needs_simulation: bool = False
+
+    @property
+    def schedulable(self) -> bool:
+        return self.cond is not None
+
+    def land(self, component: int) -> list[int]:
+        """Mark ``component``'s results available; return newly ready ones."""
+        if component in self.landed:
+            return []
+        self.landed.add(component)
+        freed: list[int] = []
+        assert self.cond is not None
+        for dependent in sorted(self.cond.dependents.get(component, ())):
+            self.blockers[dependent] -= 1
+            if self.blockers[dependent] == 0 and self.pending.get(dependent):
+                freed.append(dependent)
+        self.ready.extend(freed)
+        return freed
 
 
 class BatchDriver:
     """Drive the full pipeline over many programs, in parallel, with caching.
 
-    ``jobs=1`` analyzes in-process (no pool); ``jobs>1`` fans each wave of
-    independent functions out across a ``multiprocessing`` pool.
-    ``cache_dir=None`` disables memoization.
+    ``jobs=1`` analyzes in-process (no pool); ``jobs>1`` schedules
+    cost-balanced chunks of call-graph components onto a persistent worker
+    pool the moment their callees have landed.  ``cache_dir=None`` disables
+    memoization.  ``start_method`` picks the multiprocessing start method
+    (default: ``fork`` where available, else ``spawn``); ``profile=True``
+    keeps the per-task timing breakdown in the report.
     """
 
     def __init__(
@@ -101,91 +180,241 @@ class BatchDriver:
         cache_dir=None,
         options: PipelineOptions | None = None,
         simulate: bool = True,
+        start_method: str | None = None,
+        profile: bool = False,
     ):
         self.jobs = max(1, int(jobs))
         self.options = options or PipelineOptions()
         self.cache = ResultCache(cache_dir)
         self.simulate = simulate
+        self.start_method = start_method
+        self.profile = profile
 
     # -- public entry points -------------------------------------------------
     def analyze_corpus(self, items: list[CorpusItem]) -> BatchReport:
         report = BatchReport(jobs=self.jobs)
         started = time.perf_counter()
-        pool = None
-        try:
-            if self.jobs > 1:
-                import multiprocessing
 
-                # parse everything up front so a forked worker inherits the
-                # populated parsed-program cache instead of re-parsing each
-                # program from its task payload
-                for item in items:
-                    try:
-                        parsed_program(item.source)
-                    except LangError:
-                        pass  # _analyze_item reports it per program
-                try:
-                    ctx = multiprocessing.get_context("fork")
-                except ValueError:  # pragma: no cover - non-POSIX hosts
-                    ctx = multiprocessing.get_context("spawn")
-                pool = ctx.Pool(self.jobs)
-            for item in items:
-                report.programs.append(self._analyze_item(item, pool, report))
-        finally:
-            if pool is not None:
-                pool.close()
-                pool.join()
+        plans = [self._plan_item(i, item, report) for i, item in enumerate(items)]
+        if self.jobs > 1:
+            timings = self._run_parallel(plans, report)
+        else:
+            timings = self._run_inline(plans, report)
+        report.profile = self._aggregate_profile(timings)
+
+        report.programs = [plan.report for plan in plans]
         report.elapsed_s = time.perf_counter() - started
         return report
 
-    # -- one program ---------------------------------------------------------
-    def _analyze_item(self, item: CorpusItem, pool, batch: BatchReport) -> ProgramReport:
-        report = ProgramReport(name=item.name)
+    # -- planning ------------------------------------------------------------
+    def _plan_item(self, index: int, item: CorpusItem, batch: BatchReport) -> _ProgramPlan:
+        plan = _ProgramPlan(index=index, item=item, report=ProgramReport(name=item.name))
         try:
             program = parsed_program(item.source)
         except LangError as exc:
-            report.error = f"parse error: {exc}"
-            return report
-
+            plan.report.error = f"parse error: {exc}"
+            return plan
         try:
             graph = build_call_graph(program)
-            waves = bottom_up_waves(graph)
+            plan.cond = condense(graph)
         except LangError as exc:  # defensive: malformed programs must not abort the batch
-            report.error = str(exc)
-            return report
-        report.schedule = waves
-        digests = function_digests(program, graph, self.options.key())
+            plan.report.error = str(exc)
+            return plan
+        plan.report.schedule = plan.cond.waves()
+        plan.digests = function_digests(program, graph, self.options.key())
+        self.cache.preload(plan.digests.values())
 
-        options_tuple = astuple(self.options)
-        for wave in waves:
-            pending: list[tuple[str, str]] = []  # (function, digest)
-            for scc in wave:
-                for name in scc:
-                    cached = self.cache.get(digests[name])
-                    if cached is not None:
-                        report.functions[name] = cached
-                        batch.cache_hits += 1
-                    else:
-                        pending.append((name, digests[name]))
-            if not pending:
-                continue
-            tasks = [(item.source, name, options_tuple) for name, _ in pending]
-            if pool is not None:
-                results = pool.map(_job_worker, tasks)
-            else:
-                results = [_job_worker(task) for task in tasks]
-            for (name, digest), result in zip(pending, results):
-                report.functions[name] = result
-                self.cache.put(digest, result)
-                batch.analyses_executed += 1
+        plan.blockers = plan.cond.initial_blockers()
+        for i, scc in enumerate(plan.cond.sccs):
+            pending: list[str] = []
+            cost = 0
+            for name in scc:
+                cached = self.cache.get(plan.digests[name])
+                if cached is not None:
+                    plan.report.functions[name] = cached
+                    batch.cache_hits += 1
+                else:
+                    pending.append(name)
+                    cost += estimate_cost(program.function_named(name), program)
+            plan.pending[i] = pending
+            plan.costs[i] = cost
+        # components with nothing to compute land immediately (their results
+        # came from the cache), which may free their dependents
+        for i in range(len(plan.cond.sccs)):
+            if not plan.pending[i]:
+                plan.land(i)
+        plan.ready = [
+            i
+            for i in range(len(plan.cond.sccs))
+            if plan.pending[i] and plan.blockers[i] == 0
+        ]
 
         if self.simulate:
-            sim_key = program_digest(item.source, self.options.key())
-            cached = self.cache.get(sim_key)
+            plan.sim_key = program_digest(item.source, self.options.key())
+            self.cache.preload([plan.sim_key])
+            cached = self.cache.get(plan.sim_key)
             if cached is not None:
-                report.simulation = cached
+                plan.report.simulation = cached
                 batch.simulation_cache_hits += 1
             else:
-                report.simulation = simulate_program(item.source, self.options)
-                self.cache.put(sim_key, report.simulation)
-        return report
+                plan.needs_simulation = True
+        return plan
+
+    # -- inline execution (jobs == 1, no executor) ----------------------------
+    def _run_inline(self, plans: list[_ProgramPlan], batch: BatchReport) -> list[TaskTiming]:
+        batch.start_method = None
+        work_started = time.perf_counter()
+        functions_run = 0
+        for plan in plans:
+            if not plan.schedulable:
+                continue
+            # condensation order is bottom-up, so a plain scan never runs a
+            # component before its callees
+            for i in range(len(plan.cond.sccs)):
+                for name in plan.pending[i]:
+                    payload = analyze_function_job(plan.item.source, name, self.options)
+                    self._record_result(plan, name, payload, batch)
+                    functions_run += 1
+                plan.land(i)
+            if plan.needs_simulation:
+                self._record_simulation(
+                    plan, simulate_program(plan.item.source, self.options)
+                )
+        analyze_s = time.perf_counter() - work_started
+        if not functions_run and not any(p.needs_simulation for p in plans):
+            return []
+        return [
+            TaskTiming(
+                task_id=0,
+                kind="inline",
+                program="*",
+                functions=functions_run,
+                cost=0,
+                worker_pid=0,
+                queue_wait_s=0.0,
+                parse_s=0.0,
+                analyze_s=analyze_s,
+                transfer_s=0.0,
+                total_s=analyze_s,
+            )
+        ]
+
+    # -- parallel execution (persistent workers, ready queue) ------------------
+    def _run_parallel(self, plans: list[_ProgramPlan], batch: BatchReport) -> list[TaskTiming]:
+        active = [
+            plan
+            for plan in plans
+            if plan.schedulable and (any(plan.pending.values()) or plan.needs_simulation)
+        ]
+        if not active:  # fully warm run: do not even start the pool
+            return []
+        sources = [plan.item.source for plan in plans]
+        # pre-fork warm-up: forked workers inherit the parsed programs
+        # copy-on-write instead of each re-parsing the corpus
+        warm_parsed_programs([plan.item.source for plan in active])
+        timings: list[TaskTiming] = []
+        task_counter = 0
+
+        def make_tasks(plan: _ProgramPlan) -> list[Task]:
+            """Pack everything currently ready in ``plan`` into chunk tasks."""
+            nonlocal task_counter
+            if not plan.ready:
+                return []
+            components = sorted(plan.ready)
+            plan.ready = []
+            groups = [(plan.pending[i], plan.costs[i]) for i in components]
+            tasks = []
+            for chunk in pack_chunks(groups):
+                members = [components[g] for g in chunk]
+                task_counter += 1
+                tasks.append(
+                    Task(
+                        task_id=task_counter,
+                        kind="analyze",
+                        program_index=plan.index,
+                        program_name=plan.item.name,
+                        functions=[n for m in members for n in plan.pending[m]],
+                        components=members,
+                        cost=sum(plan.costs[m] for m in members),
+                    )
+                )
+            return tasks
+
+        with PersistentExecutor(
+            self.jobs, sources, self.options, self.start_method
+        ) as executor:
+            batch.start_method = executor.start_method
+            for plan in active:
+                for task in make_tasks(plan):
+                    executor.submit(task)
+                if plan.needs_simulation:
+                    # simulation re-derives everything from source, so it has
+                    # no scheduling dependency: overlap it with analysis
+                    task_counter += 1
+                    executor.submit(
+                        Task(
+                            task_id=task_counter,
+                            kind="simulate",
+                            program_index=plan.index,
+                            program_name=plan.item.name,
+                        )
+                    )
+            try:
+                while executor.outstanding:
+                    for task, result, timing in executor.wait_one():
+                        timings.append(timing)
+                        plan = plans[task.program_index]
+                        if task.kind == "simulate":
+                            self._record_simulation(plan, result["simulation"])
+                            continue
+                        for name in task.functions:
+                            self._record_result(
+                                plan, name, result["results"][name], batch
+                            )
+                        for component in task.components:
+                            plan.land(component)
+                        for new_task in make_tasks(plan):
+                            executor.submit(new_task)
+            except Exception:
+                executor.shutdown()
+                raise
+        return timings
+
+    # -- result bookkeeping ---------------------------------------------------
+    def _record_result(
+        self, plan: _ProgramPlan, name: str, payload: dict, batch: BatchReport
+    ) -> None:
+        plan.report.functions[name] = payload
+        self.cache.put(plan.digests[name], payload)
+        batch.analyses_executed += 1
+
+    def _record_simulation(self, plan: _ProgramPlan, payload: dict) -> None:
+        plan.report.simulation = payload
+        if plan.sim_key is not None:
+            self.cache.put(plan.sim_key, payload)
+        plan.needs_simulation = False
+
+    # -- profiling ------------------------------------------------------------
+    def _aggregate_profile(self, timings: list[TaskTiming]) -> dict | None:
+        if not timings:
+            return None
+        totals = {
+            "tasks": len(timings),
+            "functions": sum(t.functions for t in timings if t.kind != "simulate"),
+            "queue_wait_s": sum(t.queue_wait_s for t in timings),
+            "parse_s": sum(t.parse_s for t in timings),
+            "analyze_s": sum(t.analyze_s for t in timings),
+            "transfer_s": sum(t.transfer_s for t in timings),
+        }
+        # queue-wait is back-pressure (work waiting for a free core), not
+        # waste; the overhead a serial run would not pay is worker-side
+        # re-parsing plus result transfer
+        busy = totals["analyze_s"]
+        overhead = totals["parse_s"] + totals["transfer_s"]
+        totals["overhead_fraction"] = (
+            overhead / (busy + overhead) if busy + overhead > 0 else 0.0
+        )
+        profile = {"totals": totals}
+        if self.profile:
+            profile["tasks"] = [t.to_dict() for t in timings]
+        return profile

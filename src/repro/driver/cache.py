@@ -27,7 +27,7 @@ from repro.driver.callgraph import CallGraph
 #: bump when the per-function report schema or analysis semantics change
 #: (2: parallel-for gained the sequential for's step/descending/re-read
 #: semantics, so cached simulation reports from version 1 may be stale)
-CACHE_VERSION = 2
+CACHE_VERSION = 3  # v3: deterministic (sorted) violation/conflict ordering
 
 
 def _sha(*parts: str) -> str:
@@ -81,6 +81,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: payloads already read (or written) this run; ``preload`` fills it
+        #: in bulk so the scheduler's per-function probes are dict lookups
+        self._memory: dict[str, dict] = {}
 
     @property
     def enabled(self) -> bool:
@@ -90,22 +93,50 @@ class ResultCache:
         assert self.directory is not None
         return self.directory / f"{key}.json"
 
+    def preload(self, keys) -> int:
+        """Bulk-load ``keys`` into the in-memory layer; returns how many hit.
+
+        The batch scheduler probes every function of a corpus up front; one
+        preload turns those probes (and a fully warm re-run) into dict
+        lookups instead of per-function file reads.  Counts neither hits nor
+        misses — the probes themselves do, via :meth:`get`.
+        """
+        if self.directory is None:
+            return 0
+        loaded = 0
+        for key in keys:
+            if key in self._memory:
+                loaded += 1
+                continue
+            try:
+                self._memory[key] = json.loads(self._path(key).read_text())
+                loaded += 1
+            except (OSError, json.JSONDecodeError):
+                continue
+        return loaded
+
     def get(self, key: str) -> dict | None:
         if self.directory is None:
             self.misses += 1
             return None
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             self.misses += 1
             return None
+        self._memory[key] = payload
         self.hits += 1
         return payload
 
     def put(self, key: str, payload: dict) -> None:
         if self.directory is None:
             return
+        self._memory[key] = payload
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         # per-process tmp name: two runs racing on the same key must not
@@ -122,6 +153,7 @@ class ResultCache:
 
     def clear(self) -> int:
         """Delete every cached payload; returns the number removed."""
+        self._memory.clear()
         if self.directory is None or not self.directory.exists():
             return 0
         removed = 0

@@ -106,30 +106,79 @@ def strongly_connected_components(graph: CallGraph) -> list[list[str]]:
     return sccs
 
 
+@dataclass
+class Condensation:
+    """The SCC condensation of a call graph, ready for dependency-counting.
+
+    The persistent-worker executor schedules *components*, not waves: a
+    component becomes runnable the moment its callee components have landed
+    (``blockers`` hits zero), so only true call-graph edges ever delay work —
+    there is no barrier on unrelated components that happen to share a depth.
+    """
+
+    #: components bottom-up (every component before any component calling it)
+    sccs: list[list[str]]
+    #: function name -> index into ``sccs``
+    component_of: dict[str, int] = field(default_factory=dict)
+    #: component -> distinct callee components (excluding itself)
+    callee_components: dict[int, set[int]] = field(default_factory=dict)
+    #: component -> components waiting on it (the reverse edges)
+    dependents: dict[int, set[int]] = field(default_factory=dict)
+
+    def initial_blockers(self) -> dict[int, int]:
+        """Per-component count of not-yet-landed callee components.
+
+        The scheduler decrements a dependent's count as each component
+        lands; zero means runnable.  Returned fresh so one condensation can
+        drive many runs.
+        """
+        return {i: len(self.callee_components[i]) for i in range(len(self.sccs))}
+
+    def bottom_up_depth(self) -> dict[int, int]:
+        """Longest callee-chain length per component (0 for leaves)."""
+        depth: dict[int, int] = {}
+        for i in range(len(self.sccs)):  # bottom-up, so callee depths exist
+            callees = self.callee_components[i]
+            depth[i] = 1 + max((depth[c] for c in callees), default=-1)
+        return depth
+
+    def waves(self) -> list[list[list[str]]]:
+        """Components grouped by bottom-up depth (the reports' schedule view)."""
+        depth = self.bottom_up_depth()
+        waves: list[list[list[str]]] = []
+        for i, scc in enumerate(self.sccs):
+            d = depth[i]
+            while len(waves) <= d:
+                waves.append([])
+            waves[d].append(scc)
+        return waves
+
+
+def condense(graph: CallGraph) -> Condensation:
+    """Build the bottom-up SCC condensation with dependency edges."""
+    sccs = strongly_connected_components(graph)
+    cond = Condensation(sccs=sccs)
+    for i, scc in enumerate(sccs):
+        for name in scc:
+            cond.component_of[name] = i
+    for i, scc in enumerate(sccs):
+        callees = {
+            cond.component_of[callee]
+            for name in scc
+            for callee in graph.callees(name)
+        }
+        callees.discard(i)
+        cond.callee_components[i] = callees
+        cond.dependents.setdefault(i, set())
+        for c in callees:
+            cond.dependents.setdefault(c, set()).add(i)
+    return cond
+
+
 def bottom_up_waves(graph: CallGraph) -> list[list[list[str]]]:
     """Group SCCs into waves: wave ``k`` holds the components whose callees
     all live in waves ``< k``.  Components within one wave are independent
-    of each other and may be analyzed in parallel."""
-    sccs = strongly_connected_components(graph)
-    component_of: dict[str, int] = {}
-    for i, scc in enumerate(sccs):
-        for name in scc:
-            component_of[name] = i
-
-    depth: dict[int, int] = {}
-    for i, scc in enumerate(sccs):  # bottom-up, so callee depths are ready
-        callee_depths = [
-            depth[component_of[callee]]
-            for name in scc
-            for callee in graph.callees(name)
-            if component_of[callee] != i
-        ]
-        depth[i] = 1 + max(callee_depths, default=-1)
-
-    waves: list[list[list[str]]] = []
-    for i, scc in enumerate(sccs):
-        d = depth[i]
-        while len(waves) <= d:
-            waves.append([])
-        waves[d].append(scc)
-    return waves
+    of each other and may be analyzed in parallel.  (The executor schedules
+    by ready-count, not by wave; waves remain the human-readable schedule
+    the reports show.)"""
+    return condense(graph).waves()

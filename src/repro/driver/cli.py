@@ -23,8 +23,9 @@ import argparse
 import json
 import sys
 
-from repro.driver.batch import BatchDriver, BatchReport
+from repro.driver.batch import BatchDriver, BatchExecutionError, BatchReport
 from repro.driver.corpus import CORPORA, corpus_named, load_source_file
+from repro.driver.executor import WorkerPoolError, default_jobs
 from repro.driver.pipeline import PipelineOptions
 
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -44,7 +45,26 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(CORPORA),
         help="also analyze a named built-in corpus",
     )
-    analyze.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=default_jobs(),
+        help=(
+            "worker processes (default: cpu count capped at 8, here "
+            f"{default_jobs()}; 1 runs inline with no worker pool)"
+        ),
+    )
+    analyze.add_argument(
+        "--start-method",
+        choices=("fork", "spawn"),
+        default=None,
+        help="multiprocessing start method (default: fork where available)",
+    )
+    analyze.add_argument(
+        "--profile",
+        action="store_true",
+        help="keep the per-task timing breakdown in the report",
+    )
     analyze.add_argument(
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
@@ -91,7 +111,13 @@ def render_text(report: BatchReport) -> str:
             lines.append(f"  ERROR: {program.error}")
             continue
         waves = len(program.schedule)
-        lines.append(f"  {len(program.functions)} function(s), {waves} bottom-up wave(s)")
+        summaries = program.summaries()
+        read_only = sum(1 for s in summaries.values() if s.is_read_only)
+        shape = sum(1 for s in summaries.values() if s.rearranges_shape)
+        lines.append(
+            f"  {len(program.functions)} function(s), {waves} bottom-up wave(s), "
+            f"{read_only} read-only, {shape} shape-changing"
+        )
         for name in sorted(program.functions):
             func = program.functions[name]
             analysis = func.get("analysis", {})
@@ -129,6 +155,26 @@ def render_text(report: BatchReport) -> str:
         f"{report.analyses_executed} analyzed, {report.cache_hits} from cache "
         f"({report.jobs} job(s), {report.elapsed_s:.2f}s)"
     )
+    if report.profile is not None:
+        totals = report.profile["totals"]
+        lines.append(
+            f"profile: {totals['tasks']} task(s) — "
+            f"queue-wait {totals['queue_wait_s']:.3f}s, "
+            f"parse {totals['parse_s']:.3f}s, "
+            f"analyze {totals['analyze_s']:.3f}s, "
+            f"transfer {totals['transfer_s']:.3f}s "
+            f"({totals['overhead_fraction']:.1%} overhead)"
+        )
+        for task in report.profile.get("tasks", []):
+            lines.append(
+                f"  task {task['task_id']:>3} {task['kind']:<9} {task['program']:<28}"
+                f" {task['functions']:>3} fn  cost {task['cost']:>6}"
+                f"  wait {task['queue_wait_s']:.3f}s"
+                f"  parse {task['parse_s']:.3f}s"
+                f"  analyze {task['analyze_s']:.3f}s"
+                f"  transfer {task['transfer_s']:.3f}s"
+                f"  [pid {task['worker_pid']}]"
+            )
     return "\n".join(lines)
 
 
@@ -158,8 +204,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         options=options,
         simulate=not args.no_simulate,
+        start_method=args.start_method,
+        profile=args.profile,
     )
-    report = driver.analyze_corpus(items)
+    try:
+        report = driver.analyze_corpus(items)
+    except (BatchExecutionError, WorkerPoolError) as exc:
+        # a dead worker (or wedged pool) must surface as a failing exit, not
+        # a hang or a silently truncated report
+        print(f"error: batch execution failed: {exc}", file=sys.stderr)
+        return 3
 
     if args.output:
         with open(args.output, "w") as handle:

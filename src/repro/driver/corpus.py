@@ -22,6 +22,7 @@ from pathlib import Path
 
 from repro.adds.library import standard_source
 from repro.bench.stress import (
+    call_web_program_source,
     deep_program_source,
     random_program_source,
     wide_program_source,
@@ -137,6 +138,7 @@ def stress_corpus(full: bool = False) -> list[CorpusItem]:
 
     wide = 50 if full else 24
     depth, segment, deep_vars = (8, 6, 30) if full else (4, 4, 12)
+    web = 96 if full else 48
     prefix = standard_source("ListNode")
     items = [
         CorpusItem(
@@ -148,6 +150,11 @@ def stress_corpus(full: bool = False) -> list[CorpusItem]:
             name=f"stress/deep_{depth}",
             source=prefix + deep_program_source(depth, segment, deep_vars),
             description="deeply nested traversal loops",
+        ),
+        CorpusItem(
+            name=f"stress/callweb_{web}",
+            source=prefix + call_web_program_source(web, seed=7, prefix="web"),
+            description="many tiny functions over a deep-and-wide call DAG",
         ),
     ]
     for seed in (1, 2, 3):
@@ -166,8 +173,25 @@ def builtin_corpus(full: bool = False) -> list[CorpusItem]:
     return paper_corpus() + examples_corpus() + stress_corpus(full=full)
 
 
+def bench_corpus(full: bool = False) -> list[CorpusItem]:
+    """The throughput-benchmark corpus: ``builtin`` plus a ~200-function
+    call web, so parallel-scaling numbers are measured on a work mix where
+    scheduling and chunking actually matter (hundreds of cheap, dependent
+    work units — not just a handful of big ones)."""
+    web = 240 if full else 200
+    return builtin_corpus(full=full) + [
+        CorpusItem(
+            name=f"stress/callweb_{web}",
+            source=standard_source("ListNode")
+            + call_web_program_source(web, seed=11, prefix="bw"),
+            description="benchmark-sized call web (scheduler/chunking stress)",
+        )
+    ]
+
+
 CORPORA = {
     "builtin": builtin_corpus,
+    "bench": bench_corpus,
     "paper": paper_corpus,
     "examples": examples_corpus,
     "stress": stress_corpus,
@@ -181,6 +205,6 @@ def corpus_named(name: str, full: bool = False) -> list[CorpusItem]:
         raise KeyError(
             f"unknown corpus {name!r}; available: {', '.join(sorted(CORPORA))}"
         ) from None
-    if name in ("builtin", "stress"):
+    if name in ("builtin", "bench", "stress"):
         return factory(full=full)
     return factory()

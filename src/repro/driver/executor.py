@@ -1,0 +1,356 @@
+"""Persistent-worker execution for the batch driver.
+
+The PR-5 driver fanned each SCC *wave* out over ``Pool.map``: every wave
+paid a full barrier on its slowest function, every task re-pickled the
+program source, and tiny functions shipped one per task.  On the built-in
+corpus that overhead made ``--jobs 2`` *slower* than serial.  This module
+replaces it with:
+
+* **one warm pool per batch run** — workers are created once (forked where
+  the platform allows it, so they inherit the coordinator's parsed-program
+  cache as shared read-only state) and pull tasks until the run ends;
+* **compact task payloads** — a task names a program by index and carries a
+  list of function names; sources ship exactly once per worker, at
+  initialization.  Results flow back as plain JSON-style dicts (summaries
+  as :meth:`FunctionSummary.to_dict` payloads, matrices as tables), never
+  as pickled interned objects — re-interning, where needed, happens once on
+  the coordinator;
+* **cost-model chunking** — tiny functions are batched into one task so
+  queue/pickle overhead is amortized, while expensive functions ship alone
+  (:func:`estimate_cost`, :func:`pack_chunks`);
+* **a timing layer** — every task records queue-wait, worker-side program
+  warm-up ("parse"), analysis time, and result-transfer time, so
+  ``--profile`` can show where a parallel run actually spends its time.
+
+Scheduling (who is runnable when) lives in :mod:`repro.driver.batch`; this
+module only knows how to run chunks on warm workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.lang.ast_nodes import FunctionDecl, Program, collect_pointer_variables, iter_statements
+
+from repro.driver.pipeline import (
+    PipelineOptions,
+    analysis_for,
+    analyze_function_job,
+    parsed_program,
+    simulate_program,
+)
+
+#: ``--jobs`` never defaults above this many workers
+MAX_DEFAULT_JOBS = 8
+
+#: target estimated cost per analysis chunk; functions are packed until a
+#: chunk reaches it (one expensive function can exceed it and ships alone)
+CHUNK_COST_TARGET = 2400
+
+#: never pack more functions than this into one chunk, however cheap —
+#: keeps the ready queue granular enough for work-stealing to balance
+CHUNK_MAX_FUNCTIONS = 24
+
+#: a completion-less stretch this long means the pool is wedged; surface an
+#: error instead of hanging an unattended batch forever
+WAIT_TIMEOUT_S = 300.0
+
+#: test hook: a worker analyzing a function with this name hard-exits, so the
+#: crash-surfacing path can be exercised end to end (see tests/driver)
+CRASH_ENV_VAR = "REPRO_DRIVER_TEST_CRASH"
+
+
+class WorkerPoolError(RuntimeError):
+    """The worker pool died or stopped making progress mid-run."""
+
+
+def default_jobs() -> int:
+    """``os.cpu_count()`` capped at :data:`MAX_DEFAULT_JOBS` (floor 1)."""
+    return max(1, min(MAX_DEFAULT_JOBS, os.cpu_count() or 1))
+
+
+def preferred_start_method() -> str:
+    """``fork`` where available (workers inherit warm parsed-program state
+    copy-on-write), ``spawn`` elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# -- the cost model -----------------------------------------------------------
+def estimate_cost(func: FunctionDecl, program: Program) -> int:
+    """Estimated analysis cost of one function: statements × pointer vars.
+
+    Both axes dominate solver cost (see ``repro.bench.stress``): every
+    transfer touches O(pointer-vars²) matrix entries and runs once per
+    statement per sweep.  The product only needs to *rank* functions well
+    enough that a chunk lands near :data:`CHUNK_COST_TARGET`.
+    """
+    statements = sum(1 for _ in iter_statements(func.body))
+    pointer_vars = len(collect_pointer_variables(func, program))
+    return (1 + statements) * (1 + pointer_vars)
+
+
+def pack_chunks(
+    groups: list[tuple[list[str], int]],
+    cost_target: int = CHUNK_COST_TARGET,
+    max_functions: int = CHUNK_MAX_FUNCTIONS,
+) -> list[list[int]]:
+    """Pack ``(functions, cost)`` groups into chunks of roughly equal cost.
+
+    Returns chunks as lists of *group indices* (the scheduler maps them back
+    to its components).  Groups (SCCs, in practice) are kept whole — mutual
+    recursion stays on one worker.  Cheap groups accumulate until the target
+    cost or function cap is reached; a group at or above the target ships
+    alone.
+    """
+    chunks: list[list[int]] = []
+    current: list[int] = []
+    current_functions = 0
+    current_cost = 0
+    for index, (functions, cost) in enumerate(groups):
+        if current and (
+            current_cost + cost > cost_target
+            or current_functions + len(functions) > max_functions
+        ):
+            chunks.append(current)
+            current, current_functions, current_cost = [], 0, 0
+        current.append(index)
+        current_functions += len(functions)
+        current_cost += cost
+        if current_cost >= cost_target:
+            chunks.append(current)
+            current, current_functions, current_cost = [], 0, 0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+# -- task and result shapes ---------------------------------------------------
+@dataclass
+class Task:
+    """One unit of pool work: analyze a chunk of functions, or simulate."""
+
+    task_id: int
+    kind: str  # "analyze" | "simulate"
+    program_index: int
+    program_name: str
+    functions: list[str] = field(default_factory=list)
+    #: coordinator-side bookkeeping: the call-graph components this chunk
+    #: covers (landing them may unblock dependents)
+    components: list[int] = field(default_factory=list)
+    cost: int = 0
+    submitted_at: float = 0.0
+
+
+@dataclass
+class TaskTiming:
+    """Where one task's wall-clock went (coordinator + worker stamps).
+
+    On Linux ``time.perf_counter`` reads the system-wide monotonic clock, so
+    worker-side stamps are directly comparable with coordinator-side ones;
+    on platforms where they are not, the derived fields are clamped at 0.
+    """
+
+    task_id: int
+    kind: str
+    program: str
+    functions: int
+    cost: int
+    worker_pid: int
+    queue_wait_s: float  # submit -> worker picked it up (incl. task pickling)
+    parse_s: float  # worker-side program warm-up (parse + summaries); 0 when inherited
+    analyze_s: float  # worker-side pipeline work
+    transfer_s: float  # worker finish -> coordinator receipt (result pickling + queue)
+    total_s: float  # submit -> coordinator receipt
+
+    def to_dict(self) -> dict:
+        return {
+            "task_id": self.task_id,
+            "kind": self.kind,
+            "program": self.program,
+            "functions": self.functions,
+            "cost": self.cost,
+            "worker_pid": self.worker_pid,
+            "queue_wait_s": self.queue_wait_s,
+            "parse_s": self.parse_s,
+            "analyze_s": self.analyze_s,
+            "transfer_s": self.transfer_s,
+            "total_s": self.total_s,
+        }
+
+
+# -- worker side --------------------------------------------------------------
+_WORKER_SOURCES: list[str] = []
+_WORKER_OPTIONS: PipelineOptions | None = None
+
+
+def _init_worker(sources: list[str], options: PipelineOptions) -> None:
+    """Per-worker initialization: receive the corpus sources exactly once.
+
+    Under ``fork`` the worker additionally inherits the coordinator's
+    parsed-program cache copy-on-write, so warm-up below is a lookup; under
+    ``spawn`` each worker parses a program the first time it sees it.
+    """
+    global _WORKER_OPTIONS
+    _WORKER_SOURCES[:] = sources
+    _WORKER_OPTIONS = options
+
+
+def _run_task(payload: tuple) -> dict:
+    """Top-level (picklable) pool entry point for one task."""
+    task_id, kind, program_index, functions, submitted_at = payload
+    started = time.perf_counter()
+    source = _WORKER_SOURCES[program_index]
+    options = _WORKER_OPTIONS
+    assert options is not None, "worker used before initialization"
+
+    result: dict = {
+        "task_id": task_id,
+        "pid": os.getpid(),
+        "started": started,
+        "parse_s": 0.0,
+    }
+    if kind == "simulate":
+        result["simulation"] = simulate_program(source, options)
+    else:
+        warm_start = time.perf_counter()
+        analysis_for(source, options)  # parse + summaries, memoized per worker
+        result["parse_s"] = time.perf_counter() - warm_start
+        crash_function = os.environ.get(CRASH_ENV_VAR)
+        reports: dict[str, dict] = {}
+        for name in functions:
+            if crash_function and name == crash_function:
+                os._exit(3)  # simulate a hard worker death (OOM kill, segfault)
+            reports[name] = analyze_function_job(source, name, options)
+        result["results"] = reports
+    result["finished"] = time.perf_counter()
+    return result
+
+
+# -- coordinator side ---------------------------------------------------------
+class PersistentExecutor:
+    """A warm process pool that runs :class:`Task` chunks until shutdown.
+
+    Thin wrapper over :class:`concurrent.futures.ProcessPoolExecutor`: the
+    pool's shared task queue *is* the ready queue's work-stealing substrate
+    (idle workers pull the next runnable chunk, whichever program it belongs
+    to), and a dead worker surfaces as :class:`WorkerPoolError` instead of a
+    hang.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        sources: list[str],
+        options: PipelineOptions,
+        start_method: str | None = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.start_method = start_method or preferred_start_method()
+        ctx = multiprocessing.get_context(self.start_method)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(sources, options),
+        )
+        self._in_flight: dict[Future, Task] = {}
+
+    # -- submission / completion ---------------------------------------------
+    def submit(self, task: Task) -> None:
+        task.submitted_at = time.perf_counter()
+        payload = (
+            task.task_id,
+            task.kind,
+            task.program_index,
+            task.functions,
+            task.submitted_at,
+        )
+        try:
+            future = self._pool.submit(_run_task, payload)
+        except (BrokenProcessPool, RuntimeError) as exc:
+            raise WorkerPoolError(f"worker pool is broken: {exc}") from exc
+        self._in_flight[future] = task
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._in_flight)
+
+    def wait_one(self) -> list[tuple[Task, dict, TaskTiming]]:
+        """Block until at least one task finishes; return all finished ones.
+
+        Raises :class:`WorkerPoolError` when a worker died (the pool breaks)
+        or nothing completes within :data:`WAIT_TIMEOUT_S`.
+        """
+        if not self._in_flight:
+            return []
+        done, _ = wait(
+            self._in_flight, timeout=WAIT_TIMEOUT_S, return_when=FIRST_COMPLETED
+        )
+        if not done:
+            raise WorkerPoolError(
+                f"no task completed within {WAIT_TIMEOUT_S:.0f}s "
+                f"({len(self._in_flight)} outstanding)"
+            )
+        received = time.perf_counter()
+        finished: list[tuple[Task, dict, TaskTiming]] = []
+        for future in done:
+            task = self._in_flight.pop(future)
+            error = future.exception()
+            if isinstance(error, BrokenProcessPool):
+                raise WorkerPoolError(
+                    f"a worker process died while running task "
+                    f"{task.kind}:{task.program_name} "
+                    f"({len(task.functions)} function(s))"
+                ) from error
+            if error is not None:
+                raise error
+            result = future.result()
+            finished.append((task, result, self._timing(task, result, received)))
+        return finished
+
+    @staticmethod
+    def _timing(task: Task, result: dict, received: float) -> TaskTiming:
+        started = result["started"]
+        done = result["finished"]
+        parse_s = result.get("parse_s", 0.0)
+        return TaskTiming(
+            task_id=task.task_id,
+            kind=task.kind,
+            program=task.program_name,
+            functions=len(task.functions),
+            cost=task.cost,
+            worker_pid=result["pid"],
+            queue_wait_s=max(0.0, started - task.submitted_at),
+            parse_s=parse_s,
+            analyze_s=max(0.0, done - started - parse_s),
+            transfer_s=max(0.0, received - done),
+            total_s=max(0.0, received - task.submitted_at),
+        )
+
+    def shutdown(self) -> None:
+        # cancel_futures: a crash mid-run must not wait out the whole queue
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "PersistentExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def warm_parsed_programs(sources: list[str]) -> None:
+    """Parse every source into the coordinator's program cache (pre-fork
+    warm-up: forked workers inherit the cache instead of re-parsing)."""
+    from repro.lang.errors import LangError
+
+    for source in sources:
+        try:
+            parsed_program(source)
+        except LangError:
+            pass  # planning reports parse errors per program

@@ -49,7 +49,7 @@ class PipelineOptions:
 # -- per-worker caches --------------------------------------------------------
 _PROGRAM_CACHE: dict[str, Program] = {}
 _ANALYSIS_CACHE: dict[tuple[str, str], PathMatrixAnalysis] = {}
-_CACHE_LIMIT = 32  # comfortably fits the built-in corpus (sources are small)
+_CACHE_LIMIT = 64  # comfortably fits the bench corpus (sources are small)
 
 
 def _bounded(cache: dict, key, factory):
@@ -157,12 +157,6 @@ def _transform_applicability(program: Program, function: str, index: int) -> dic
                 "notes": list(getattr(result, "notes", [])),
             }
     return outcomes
-
-
-def _job_worker(task: tuple[str, str, tuple]) -> dict:
-    """Top-level (picklable) pool entry point."""
-    source, function, options_tuple = task
-    return analyze_function_job(source, function, PipelineOptions(*options_tuple))
 
 
 # -- whole-program simulation -------------------------------------------------

@@ -406,11 +406,15 @@ def _collect_accesses(
                     if summary.pointer_params and i not in summary.pointer_params:
                         continue  # a scalar argument: no heap accesses through it
                     if i in summary.written_params or summary.writes_through_unknown:
-                        for fld in summary.data_fields_written | summary.pointer_fields_written:
+                        # sorted: set order is hash-randomized, and access
+                        # order reaches the report (conflict reasons)
+                        for fld in sorted(
+                            summary.data_fields_written | summary.pointer_fields_written
+                        ):
                             writes.append((arg.ident, fld))
                     # fields the callee may read through any reachable node
                     if summary.fields_read:
-                        for fld in summary.fields_read:
+                        for fld in sorted(summary.fields_read):
                             reads.append((arg.ident, fld))
                     else:
                         reads.append((arg.ident, "*"))

@@ -315,7 +315,10 @@ class PathMatrix:
                 cells.append(cell.ljust(width))
             lines.append(row.ljust(width) + "".join(cells))
         if self.validation.violations:
-            lines.append("violations: " + "; ".join(str(v) for v in self.validation.violations))
+            lines.append(
+                "violations: "
+                + "; ".join(str(v) for v in sorted(self.validation.violations, key=str))
+            )
         return "\n".join(lines)
 
     def __str__(self) -> str:

@@ -140,11 +140,48 @@ class TestParallelExecution:
             _function_payloads(serial.analyze_corpus(paper_items))
         )
 
-    def test_parallel_builtin_corpus_completes(self, tmp_path):
+    @pytest.fixture(scope="class")
+    def builtin_serial(self):
         items = corpus_named("builtin")
-        batch = BatchDriver(jobs=4, cache_dir=tmp_path).analyze_corpus(items)
-        assert not any(p.error for p in batch.programs)
-        assert batch.function_count() >= 30
+        return items, BatchDriver(jobs=1, cache_dir=None).analyze_corpus(items)
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_full_corpus_bit_identical_under_both_start_methods(
+        self, builtin_serial, start_method
+    ):
+        """The headline fidelity guarantee: over the whole built-in corpus a
+        pooled run reproduces the serial reports bit for bit — including the
+        simulation stage — whether workers inherit state (fork) or rebuild
+        it from the shipped sources (spawn)."""
+        import multiprocessing
+
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{start_method} unavailable on this platform")
+        items, serial = builtin_serial
+        parallel = BatchDriver(
+            jobs=4, cache_dir=None, start_method=start_method
+        ).analyze_corpus(items)
+        assert not any(p.error for p in parallel.programs)
+        assert parallel.function_count() >= 30
+        assert _function_payloads(parallel) == _function_payloads(serial)
+        for item in items:
+            assert parallel.program(item.name).simulation == (
+                serial.program(item.name).simulation
+            ), item.name
+
+    def test_work_stealing_still_lands_components_bottom_up(self, tmp_path):
+        """With one slow program and one fast one sharing the pool, chunks
+        complete in an order unrelated to submission; the per-function
+        reports must still equal a serial run (callees settled first)."""
+        items = [
+            i
+            for i in corpus_named("builtin")
+            if i.name in ("stress/callweb_48", "examples/list_sum")
+        ]
+        assert len(items) == 2
+        serial = BatchDriver(jobs=1, cache_dir=None, simulate=False).analyze_corpus(items)
+        parallel = BatchDriver(jobs=3, cache_dir=None, simulate=False).analyze_corpus(items)
+        assert _function_payloads(parallel) == _function_payloads(serial)
 
 
 class TestSimulationStage:

@@ -64,6 +64,50 @@ class TestAnalyzeCommand:
         assert main(["analyze", str(bad), "--no-cache"]) == 1
         assert "ERROR" in capsys.readouterr().out
 
+    def test_jobs_defaults_to_capped_cpu_count(self):
+        from repro.driver.cli import _build_parser
+        from repro.driver.executor import default_jobs
+
+        args = _build_parser().parse_args(["analyze", "--corpus", "paper"])
+        assert args.jobs == default_jobs()
+        assert 1 <= args.jobs <= 8
+
+    def test_profile_flag_renders_task_breakdown(self, capsys):
+        code = main(
+            ["analyze", "--corpus", "paper", "--no-cache", "--no-simulate",
+             "--jobs", "2", "--profile"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile:" in out
+        assert "queue-wait" in out
+        assert "task " in out  # per-task detail lines
+
+    def test_profile_totals_shown_without_detail_by_default(self, capsys):
+        code = main(
+            ["analyze", "--corpus", "paper", "--no-cache", "--no-simulate",
+             "--jobs", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile:" in out  # totals are always aggregated
+        assert "task " not in out  # but no per-task lines without --profile
+
+    def test_explicit_start_method_spawn(self, capsys):
+        import multiprocessing
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            import pytest
+
+            pytest.skip("spawn unavailable")
+        code = main(
+            ["analyze", "--corpus", "paper", "--no-cache", "--no-simulate",
+             "--jobs", "2", "--start-method", "spawn", "--format", "json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["stats"]["start_method"] == "spawn"
+
 
 class TestOtherCommands:
     def test_corpus_listing(self, capsys):
