@@ -27,7 +27,7 @@ from repro.driver.callgraph import CallGraph
 #: bump when the per-function report schema or analysis semantics change
 #: (2: parallel-for gained the sequential for's step/descending/re-read
 #: semantics, so cached simulation reports from version 1 may be stale)
-CACHE_VERSION = 3  # v3: deterministic (sorted) violation/conflict ordering
+CACHE_VERSION = 4  # v4: scalar/traversal-field dependences + transform shape checks
 
 
 def _sha(*parts: str) -> str:
@@ -62,6 +62,10 @@ def function_digests(
             "function",
             str(CACHE_VERSION),
             options_key,
+            # diagnostics in the cached report carry absolute source lines,
+            # so a byte-identical function at a different offset (e.g. the
+            # same helper pasted into two corpus files) must not share a key
+            str(func.line or 0),
             types_src,
             unparsed[func.name],
             callee_part,

@@ -6,6 +6,9 @@ Subcommands:
   analysis → ADDS validation → loop classification → transforms →
   machine-simulated speedup) over source files and/or a named corpus,
   in parallel, with on-disk memoization.
+* ``fuzz``    — differentially fuzz the executors: generate seeded random
+  programs, run each through the reference interpreter, the machine
+  simulator and every applicable transform output, and diff the results.
 * ``corpus``  — list the programs of the built-in corpora.
 * ``cache``   — show or clear the on-disk result cache.
 
@@ -91,6 +94,41 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--output", help="also write the JSON report to this file")
     analyze.add_argument(
         "--full", action="store_true", help="paper-sized stress corpus instead of quick"
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the executors (interpreter vs. machine-sim "
+        "vs. transformed programs)",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=200, help="number of programs to generate"
+    )
+    fuzz.add_argument("--start", type=int, default=0, help="first seed (default 0)")
+    fuzz.add_argument(
+        "--pes", type=int, default=3, help="simulated processors (default 3)"
+    )
+    fuzz.add_argument(
+        "--unroll-factor", type=int, default=3, help="unroll factor (default 3)"
+    )
+    fuzz.add_argument(
+        "--shrink",
+        action="store_true",
+        help="minimize each divergent program before reporting",
+    )
+    fuzz.add_argument(
+        "--save-failures",
+        metavar="DIR",
+        help="write a replayable JSON record per divergent seed into DIR",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="re-run stored failure record(s) (a JSON file or a directory) "
+        "instead of generating programs",
+    )
+    fuzz.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
     )
 
     corpus = sub.add_parser("corpus", help="list the built-in corpus programs")
@@ -237,10 +275,52 @@ def _report_failed(report: BatchReport) -> bool:
                 return True
         sim = program.simulation
         if sim is not None and (
-            sim.get("status") == "error" or sim.get("heaps_match") is False
+            sim.get("status") in ("error", "limit") or sim.get("heaps_match") is False
         ):
             return True
     return False
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.fuzz import harness
+
+    if args.replay:
+        target = pathlib.Path(args.replay)
+        paths = sorted(target.glob("*.json")) if target.is_dir() else [target]
+        if not paths:
+            print(f"error: no regression records under {target}", file=sys.stderr)
+            return 2
+        report = harness.FuzzReport()
+        for path in paths:
+            case = harness.replay_regression(
+                path, pes=args.pes, unroll_factor=args.unroll_factor
+            )
+            report.cases.append(case)
+            print(f"{path.name}: {case.summary()}")
+    else:
+        def progress(case) -> None:
+            if case.status in (harness.DIVERGENCE, harness.INVALID):
+                print(case.summary(), file=sys.stderr)
+
+        report = harness.run_campaign(
+            range(args.start, args.start + args.seeds),
+            pes=args.pes,
+            unroll_factor=args.unroll_factor,
+            shrink=args.shrink,
+            on_case=progress,
+        )
+        if args.save_failures:
+            for case in report.failures:
+                path = harness.save_regression(case, args.save_failures)
+                print(f"saved {path}", file=sys.stderr)
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return 1 if report.failures else 0
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
@@ -268,6 +348,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "corpus":
         return _cmd_corpus(args)
     if args.command == "cache":

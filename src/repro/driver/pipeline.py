@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.lang.ast_nodes import Call, IntLit, Program
-from repro.lang.errors import LangError
+from repro.lang.errors import InterpreterLimitError, LangError
 from repro.lang.interpreter import Interpreter, run_program
 from repro.lang.parser import parse_program
 from repro.machine import SEQUENT_LIKE, MachineSimulator
@@ -178,11 +178,19 @@ def _heap_fingerprint(interp: Interpreter) -> list:
     return sorted(cells)
 
 
+#: resource budgets for unattended whole-program simulation: generous enough
+#: for every corpus program, small enough that a runaway loop or unbounded
+#: recursion surfaces as a typed ``"limit"`` status in minutes, not a hang
+SIMULATION_MAX_STEPS = 20_000_000
+SIMULATION_MAX_CALL_DEPTH = 64
+
+
 def simulate_program(source: str, options: PipelineOptions) -> dict:
     """Transform and replay one program on the simulated multiprocessor.
 
     Returns a report dict; the ``status`` field is one of ``"simulated"``,
-    ``"no-entry"``, ``"no-parallel-loops"``, or ``"error"``.
+    ``"no-entry"``, ``"no-parallel-loops"``, ``"limit"`` (a resource budget
+    was exhausted — see :data:`SIMULATION_MAX_STEPS`), or ``"error"``.
     """
     program = parsed_program(source)
     entry = program.function_named(options.entry)
@@ -211,14 +219,27 @@ def simulate_program(source: str, options: PipelineOptions) -> dict:
                 node.args.append(IntLit(options.pes))
 
     try:
-        _, original = run_program(program, entry=options.entry)
-        interp = Interpreter(transformed)
+        _, original = run_program(
+            program,
+            entry=options.entry,
+            max_steps=SIMULATION_MAX_STEPS,
+            max_call_depth=SIMULATION_MAX_CALL_DEPTH,
+        )
+        interp = Interpreter(
+            transformed,
+            max_steps=SIMULATION_MAX_STEPS,
+            max_call_depth=SIMULATION_MAX_CALL_DEPTH,
+        )
         simulator = MachineSimulator(SEQUENT_LIKE.with_pes(options.pes))
         executor = simulator.attach_to_interpreter(interp)
         entry_args: tuple = ()
         if options.entry in transformed_functions:
             entry_args = (options.pes,)
         interp.call_function(options.entry, *entry_args)
+    except InterpreterLimitError as exc:
+        # exhausted is not diverged: report the budget separately so the CLI
+        # (and the fuzzer) never confuse a cut-off run with a wrong one
+        return {"status": "limit", "entry": options.entry, "error": str(exc)}
     except LangError as exc:
         return {"status": "error", "entry": options.entry, "error": str(exc)}
 

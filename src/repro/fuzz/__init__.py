@@ -1,0 +1,48 @@
+"""Differential fuzzing of the pipeline's executors.
+
+The subsystem generates small well-typed programs over the full modelled
+language (singly/doubly linked lists, binary trees, DAG-shaped tournament
+lists, cyclic rings, with and without ADDS annotations), runs each program
+through every executor class the repo has — the reference interpreter, the
+simulated multiprocessor, and the output of every applicable transformation
+(strip-mining, unrolling, software pipelining) — and diffs the observations:
+final return value, printed output, and an exact heap snapshot.
+
+A divergence between the reference run and any other executor is a real
+semantics bug in the analysis, a transformation, or the machine model; the
+harness shrinks the offending program and stores a replayable JSON record
+under ``tests/fuzz_regressions/``.
+
+Entry points: ``python -m repro fuzz`` (see :mod:`repro.driver.cli`) and the
+:func:`repro.fuzz.harness.run_campaign` API.
+"""
+
+from repro.fuzz.generator import GENERATOR_VERSION, generate_program
+from repro.fuzz.harness import (
+    FuzzCase,
+    FuzzReport,
+    load_regression,
+    replay_regression,
+    run_campaign,
+    run_seed,
+    run_source,
+    save_regression,
+)
+from repro.fuzz.observation import Observation, observe
+from repro.fuzz.shrink import shrink_source
+
+__all__ = [
+    "GENERATOR_VERSION",
+    "generate_program",
+    "FuzzCase",
+    "FuzzReport",
+    "Observation",
+    "observe",
+    "load_regression",
+    "replay_regression",
+    "run_campaign",
+    "run_seed",
+    "run_source",
+    "save_regression",
+    "shrink_source",
+]

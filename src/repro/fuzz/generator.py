@@ -1,0 +1,593 @@
+"""Grammar-driven generator of well-typed seeded random programs.
+
+Unlike :func:`repro.bench.stress.random_program_source` — which exists to
+exercise every *transfer rule* and freely produces programs that fault or
+never terminate — this generator produces **closed, terminating, well-typed
+programs** suitable for differential execution:
+
+* every program has a parameterless ``main`` that builds a structure, runs
+  one or more kernels over it, prints and returns a digest of the result;
+* every loop terminates by construction: traversal loops only ever advance
+  along acyclic chains (relinks may only skip forward), tree descents only
+  move toward the leaves, walks over the cyclic scenario use counted loops;
+* all arithmetic is total (no division, modulus only by literal constants).
+
+Scenarios cover the modelled structure zoo: singly linked lists (ADDS
+``uniquely forward``), doubly linked lists, binary trees, DAG-shaped
+tournament lists (shared suffixes — ``forward`` but not unique), and cyclic
+rings declared without ADDS guarantees.  Kernel loop bodies are drawn from a
+small statement grammar that deliberately includes the patterns the
+dependence test must get right: privatizable temporaries, scalar reductions,
+conditional field updates, forward relinks, second-pointer reads and
+allocation inside loops.
+
+Determinism: the only source of randomness is the ``random.Random`` instance
+passed in, so ``generate_program(seed)`` is byte-identical across processes
+regardless of ``PYTHONHASHSEED`` (a test pins this).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: bump when generated sources change for a given seed, so stored regression
+#: records can say which generator produced them
+GENERATOR_VERSION = 1
+
+_SCENARIOS = (
+    ("list", 30),
+    ("twoway", 15),
+    ("tree", 20),
+    ("dag", 15),
+    ("cycle", 20),
+)
+
+
+@dataclass
+class GeneratedProgram:
+    """One generated source plus the knobs that shaped it."""
+
+    seed: int
+    scenario: str
+    source: str
+    size: int
+    kernels: list[str] = field(default_factory=list)
+
+
+def generate_program(seed: int) -> GeneratedProgram:
+    """Deterministically generate one program for ``seed``."""
+    rng = random.Random(seed)
+    total = sum(w for _, w in _SCENARIOS)
+    pick = rng.randrange(total)
+    for name, weight in _SCENARIOS:
+        if pick < weight:
+            scenario = name
+            break
+        pick -= weight
+    gen = _Generator(rng)
+    source, size, kernels = getattr(gen, f"_{scenario}_program")()
+    return GeneratedProgram(
+        seed=seed, scenario=scenario, source=source, size=size, kernels=kernels
+    )
+
+
+class _Generator:
+    """Holds the rng and the per-program expression/statement grammar."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    # -- expression grammar ------------------------------------------------
+    def _int_expr(self, reads: list[str], depth: int = 0) -> str:
+        """A total integer expression over the readable operands ``reads``."""
+        rng = self.rng
+        if depth >= 2 or rng.random() < 0.4:
+            if reads and rng.random() < 0.7:
+                return rng.choice(reads)
+            return str(rng.randrange(0, 12))
+        left = self._int_expr(reads, depth + 1)
+        right = self._int_expr(reads, depth + 1)
+        op = rng.choice(["+", "+", "-", "*"])
+        if rng.random() < 0.25:
+            return f"({left} {op} {right}) % {rng.randrange(3, 11)}"
+        return f"({left} {op} {right})"
+
+    def _cond_expr(self, reads: list[str]) -> str:
+        left = self._int_expr(reads, depth=1)
+        right = self._int_expr(reads, depth=1)
+        return f"{left} {self.rng.choice(['<', '>', '==', '<>'])} {right}"
+
+    # -- kernel-body grammar -----------------------------------------------
+    def _work_statements(
+        self,
+        var: str,
+        fields: list[str],
+        pad: str,
+        extra_reads: list[str],
+        depth: int = 0,
+        allow_acc: bool = True,
+        allow_relink: str | None = None,
+        allow_alloc: str | None = None,
+    ) -> list[str]:
+        """1-3 statements of per-node work on ``var`` inside a traversal."""
+        rng = self.rng
+        reads = [f"{var}->{f}" for f in fields] + list(extra_reads)
+        lines: list[str] = []
+        for _ in range(rng.randrange(1, 4)):
+            kind = rng.randrange(100)
+            if kind < 40:
+                target = rng.choice(fields)
+                lines.append(f"{pad}{var}->{target} = {self._int_expr(reads)};")
+            elif kind < 55:
+                target = rng.choice(fields)
+                lines.append(f"{pad}t = {self._int_expr(reads)};")
+                lines.append(f"{pad}{var}->{target} = t + {rng.randrange(1, 5)};")
+            elif kind < 70 and depth < 2:
+                inner = self._work_statements(
+                    var,
+                    fields,
+                    pad + "  ",
+                    extra_reads,
+                    depth + 1,
+                    allow_acc=allow_acc,
+                    allow_relink=allow_relink,
+                    allow_alloc=allow_alloc,
+                )
+                lines.append(f"{pad}if {self._cond_expr(reads)}")
+                lines.append(f"{pad}{{")
+                lines.extend(inner)
+                lines.append(f"{pad}}}")
+                if rng.random() < 0.3:
+                    other = self._work_statements(
+                        var, fields, pad + "  ", extra_reads, depth + 1,
+                        allow_acc=allow_acc,
+                    )
+                    lines.append(f"{pad}else")
+                    lines.append(f"{pad}{{")
+                    lines.extend(other)
+                    lines.append(f"{pad}}}")
+            elif kind < 82 and allow_acc:
+                lines.append(f"{pad}acc = acc + {self._int_expr(reads)};")
+            elif kind < 88:
+                lines.append(f"{pad}print({self._int_expr(reads)});")
+            elif kind < 94 and allow_relink is not None:
+                # forward-only skip of the successor: shape-changing but
+                # still terminating (the chain strictly shortens)
+                nxt = allow_relink
+                lines.append(f"{pad}if {var}->{nxt} <> NULL")
+                lines.append(f"{pad}{{ {var}->{nxt} = {var}->{nxt}->{nxt}; }}")
+            elif kind < 97 and allow_alloc is not None:
+                # an orphan allocation: exercises heap-snapshot comparison
+                lines.append(f"{pad}u = new {allow_alloc};")
+                lines.append(f"{pad}u->{fields[0]} = {self._int_expr(reads)};")
+            else:
+                target = rng.choice(fields)
+                lines.append(
+                    f"{pad}{var}->{target} = {var}->{target} + {rng.randrange(1, 7)};"
+                )
+        return lines
+
+    def _list_kernel(
+        self,
+        name: str,
+        type_name: str,
+        fields: list[str],
+        relinks: bool,
+        allocs: bool,
+    ) -> str:
+        """A traversal kernel ``name(head, c)`` over a next-linked chain."""
+        rng = self.rng
+        use_acc = rng.random() < 0.45
+        lines = [f"function {name}(head, c)", "{ var p; var t; var u; var acc;"]
+        lines.append("  acc = 0;")
+        lines.append("  p = head;")
+        lines.append("  while p <> NULL")
+        lines.append("  {")
+        lines.extend(
+            self._work_statements(
+                "p",
+                fields,
+                "    ",
+                extra_reads=["c"],
+                allow_acc=use_acc,
+                allow_relink="next" if relinks and rng.random() < 0.4 else None,
+                allow_alloc=type_name if allocs and rng.random() < 0.3 else None,
+            )
+        )
+        lines.append("    p = p->next;")
+        lines.append("  }")
+        if use_acc:
+            lines.append("  print(acc);")
+        lines.append("  return head;")
+        lines.append("}")
+        return "\n".join(lines)
+
+    # -- the list scenario --------------------------------------------------
+    def _list_program(self) -> tuple[str, int, list[str]]:
+        rng = self.rng
+        n = rng.randrange(3, 13)
+        parts = [_LIST_TYPE, _list_builder("ListNode", n, self)]
+        kernels = [f"kernel{i}" for i in range(rng.randrange(1, 4))]
+        for name in kernels:
+            parts.append(
+                self._list_kernel(
+                    name, "ListNode", ["coef", "exp"], relinks=True, allocs=True
+                )
+            )
+        parts.append(_LIST_DIGEST)
+        parts.append(_chain_main(kernels, self, n))
+        return "\n\n".join(parts), n, kernels
+
+    # -- the doubly linked scenario -----------------------------------------
+    def _twoway_program(self) -> tuple[str, int, list[str]]:
+        rng = self.rng
+        n = rng.randrange(3, 11)
+        parts = [_TWOWAY_TYPE, _TWOWAY_BUILD]
+        kernels = [f"kernel{i}" for i in range(rng.randrange(1, 3))]
+        for name in kernels:
+            use_prev = rng.random() < 0.6
+            lines = [f"function {name}(head, c)", "{ var p; var t; var u; var acc;"]
+            lines.append("  acc = 0;")
+            lines.append("  p = head;")
+            lines.append("  while p <> NULL")
+            lines.append("  {")
+            lines.extend(
+                self._work_statements("p", ["data"], "    ", extra_reads=["c"])
+            )
+            if use_prev:
+                lines.append("    if p->prev <> NULL")
+                lines.append("    { p->prev->data = p->prev->data + 1; }")
+            lines.append("    p = p->next;")
+            lines.append("  }")
+            lines.append("  return head;")
+            lines.append("}")
+            parts.append("\n".join(lines))
+        parts.append(_TWOWAY_DIGEST)
+        parts.append(_chain_main(kernels, self, n))
+        return "\n\n".join(parts), n, kernels
+
+    # -- the binary-tree scenario -------------------------------------------
+    def _tree_program(self) -> tuple[str, int, list[str]]:
+        rng = self.rng
+        n = rng.randrange(3, 13)
+        mul, add, mod = rng.randrange(3, 9), rng.randrange(0, 7), rng.randrange(11, 23)
+        parts = [_TREE_TYPE, _TREE_INSERT]
+        parts.append(
+            "\n".join(
+                [
+                    "function build(n)",
+                    "{ var root; var i;",
+                    "  root = NULL;",
+                    "  i = 1;",
+                    "  while i < n + 1",
+                    f"  {{ root = insert(root, ((i * {mul}) + {add}) % {mod});",
+                    "    i = i + 1;",
+                    "  }",
+                    "  return root;",
+                    "}",
+                ]
+            )
+        )
+        kernels = []
+        if rng.random() < 0.7:
+            kernels.append("descend")
+            probe = rng.randrange(0, 23)
+            parts.append(
+                "\n".join(
+                    [
+                        "function descend(root, c)",
+                        "{ var t;",
+                        "  t = root;",
+                        "  while t <> NULL",
+                        f"  {{ t->data = t->data + (c % 3);",
+                        f"    if {probe} < t->data",
+                        "    { t = t->left; }",
+                        "    else",
+                        "    { t = t->right; }",
+                        "  }",
+                        "  return root;",
+                        "}",
+                    ]
+                )
+            )
+        kernels.append("bump")
+        parts.append(
+            "\n".join(
+                [
+                    "function bump(t, c)",
+                    "{ if t == NULL { return 0; }",
+                    f"  t->data = t->data + c;",
+                    "  return 1 + bump(t->left, c + 1) + bump(t->right, c + 2);",
+                    "}",
+                ]
+            )
+        )
+        parts.append(_TREE_DIGEST)
+        main = [
+            "function main()",
+            "{ var h; var d; var k;",
+            f"  h = build({n});",
+        ]
+        if "descend" in kernels:
+            main.append(f"  h = descend(h, {rng.randrange(1, 6)});")
+        main.append(f"  k = bump(h, {rng.randrange(0, 4)});")
+        main.append("  print(k);")
+        main.append("  d = digest(h);")
+        main.append("  print(d);")
+        main.append("  return d;")
+        main.append("}")
+        parts.append("\n".join(main))
+        return "\n\n".join(parts), n, kernels
+
+    # -- the DAG (tournament list) scenario ----------------------------------
+    def _dag_program(self) -> tuple[str, int, list[str]]:
+        rng = self.rng
+        n = rng.randrange(4, 13)
+        offset = rng.randrange(1, n)
+        parts = [_DAG_TYPE, _list_builder("TournamentList", n, self, data_fields=["data"])]
+        parts.append(_DAG_ADVANCE)
+        kernels = ["kernel0"]
+        parts.append(
+            self._list_kernel(
+                "kernel0", "TournamentList", ["data"], relinks=False, allocs=False
+            )
+        )
+        parts.append(_DAG_DIGEST)
+        parts.append(
+            "\n".join(
+                [
+                    "function main()",
+                    "{ var h; var m; var d;",
+                    f"  h = build({n});",
+                    f"  m = advance(h, {offset});",
+                    f"  h = kernel0(h, {rng.randrange(1, 5)});",
+                    f"  m = kernel0(m, {rng.randrange(1, 5)});",
+                    "  d = digest(h);",
+                    "  print(d);",
+                    "  return d;",
+                    "}",
+                ]
+            )
+        )
+        return "\n\n".join(parts), n, kernels
+
+    # -- the cyclic-ring scenario --------------------------------------------
+    def _cycle_program(self) -> tuple[str, int, list[str]]:
+        rng = self.rng
+        n = rng.randrange(3, 10)
+        walk = rng.randrange(n, 3 * n)
+        parts = [_RING_TYPE, _RING_BUILD]
+        kernels = ["spin"]
+        lines = [
+            "function spin(head, c)",
+            "{ var p; var t; var u; var acc; var i;",
+            "  acc = 0;",
+            "  p = head;",
+            f"  for i = 1 to {walk}",
+            "  {",
+        ]
+        lines.extend(
+            self._work_statements("p", ["coef", "exp"], "    ", extra_reads=["c", "i"])
+        )
+        lines.append("    p = p->next;")
+        lines.append("  }")
+        lines.append("  print(acc);")
+        lines.append("  return head;")
+        lines.append("}")
+        parts.append("\n".join(lines))
+        parts.append(_RING_DIGEST % max(1, n))
+        parts.append(_chain_main(kernels, self, n))
+        return "\n\n".join(parts), n, kernels
+
+
+# -- fixed building blocks ----------------------------------------------------
+_LIST_TYPE = """\
+type ListNode [X]
+{ int coef;
+  int exp;
+  ListNode *next is uniquely forward along X;
+};"""
+
+_TWOWAY_TYPE = """\
+type TwoWayList [X]
+{ int data;
+  TwoWayList *next is uniquely forward along X;
+  TwoWayList *prev is backward along X;
+};"""
+
+_TREE_TYPE = """\
+type BinTree [down]
+{ int data;
+  BinTree *left, *right is uniquely forward along down;
+};"""
+
+_DAG_TYPE = """\
+type TournamentList [X]
+{ int data;
+  TournamentList *next is forward along X;
+};"""
+
+#: deliberately no ADDS dimension: a ring breaks acyclicity, and the
+#: conservative default view is the honest declaration for it
+_RING_TYPE = """\
+type RingNode
+{ int coef;
+  int exp;
+  RingNode *next;
+};"""
+
+
+def _list_builder(
+    type_name: str,
+    n: int,
+    gen: _Generator,
+    data_fields: list[str] | None = None,
+) -> str:
+    """A prepend-style chain builder seeded with index arithmetic."""
+    rng = gen.rng
+    fields = data_fields if data_fields is not None else ["coef", "exp"]
+    lines = [
+        "function build(n)",
+        "{ var head; var p; var i;",
+        "  head = NULL;",
+        "  i = 0;",
+        "  while i < n",
+        f"  {{ p = new {type_name};",
+    ]
+    for f in fields:
+        mul, add, mod = rng.randrange(1, 7), rng.randrange(0, 9), rng.randrange(5, 17)
+        lines.append(f"    p->{f} = ((i * {mul}) + {add}) % {mod};")
+    lines.append("    p->next = head;")
+    lines.append("    head = p;")
+    lines.append("    i = i + 1;")
+    lines.append("  }")
+    lines.append("  return head;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+_TWOWAY_BUILD = """\
+function build(n)
+{ var head; var p; var q; var i;
+  head = NULL;
+  i = 0;
+  while i < n
+  { p = new TwoWayList;
+    p->data = (i * 3) % 7;
+    p->next = head;
+    p->prev = NULL;
+    if head <> NULL
+    { head->prev = p; }
+    head = p;
+    i = i + 1;
+  }
+  return head;
+}"""
+
+_TREE_INSERT = """\
+function insert(root, v)
+{ var t; var node;
+  node = new BinTree;
+  node->data = v;
+  if root == NULL
+  { return node; }
+  t = root;
+  while t <> NULL
+  { if v < t->data
+    { if t->left == NULL
+      { t->left = node; t = NULL; }
+      else
+      { t = t->left; }
+    }
+    else
+    { if t->right == NULL
+      { t->right = node; t = NULL; }
+      else
+      { t = t->right; }
+    }
+  }
+  return root;
+}"""
+
+_DAG_ADVANCE = """\
+function advance(head, k)
+{ var p; var i;
+  p = head;
+  for i = 1 to k
+  { if p <> NULL
+    { p = p->next; }
+  }
+  return p;
+}"""
+
+_LIST_DIGEST = """\
+function digest(head)
+{ var p; var d;
+  p = head;
+  d = 0;
+  while p <> NULL
+  { d = ((d * 31) + p->coef + (p->exp * 7)) % 1000003;
+    p = p->next;
+  }
+  return d;
+}"""
+
+_TWOWAY_DIGEST = """\
+function digest(head)
+{ var p; var d;
+  p = head;
+  d = 0;
+  while p <> NULL
+  { d = ((d * 31) + p->data) % 1000003;
+    p = p->next;
+  }
+  return d;
+}"""
+
+_TREE_DIGEST = """\
+function digest(t)
+{ var d;
+  if t == NULL
+  { return 1; }
+  d = ((digest(t->left) * 31) + t->data) % 1000003;
+  return ((d * 31) + digest(t->right)) % 1000003;
+}"""
+
+_DAG_DIGEST = """\
+function digest(head)
+{ var p; var d;
+  p = head;
+  d = 0;
+  while p <> NULL
+  { d = ((d * 31) + p->data) % 1000003;
+    p = p->next;
+  }
+  return d;
+}"""
+
+_RING_BUILD = """\
+function build(n)
+{ var head; var p; var q; var i;
+  head = new RingNode;
+  head->coef = 1;
+  head->exp = 0;
+  q = head;
+  i = 1;
+  while i < n
+  { p = new RingNode;
+    p->coef = (i * 5) % 9;
+    p->exp = i % 4;
+    q->next = p;
+    q = p;
+    i = i + 1;
+  }
+  q->next = head;
+  return head;
+}"""
+
+#: counted walk once around the ring (the %d is the ring size)
+_RING_DIGEST = """\
+function digest(head)
+{ var p; var d; var i;
+  p = head;
+  d = 0;
+  for i = 1 to %d
+  { d = ((d * 31) + p->coef + (p->exp * 7)) %% 1000003;
+    p = p->next;
+  }
+  return d;
+}"""
+
+
+def _chain_main(kernels: list[str], gen: _Generator, n: int) -> str:
+    """``main`` = build, run each kernel in order, digest, print, return."""
+    rng = gen.rng
+    lines = ["function main()", "{ var h; var d;", f"  h = build({n});"]
+    for name in kernels:
+        lines.append(f"  h = {name}(h, {rng.randrange(1, 6)});")
+    lines.append("  d = digest(h);")
+    lines.append("  print(d);")
+    lines.append("  return d;")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Greedy structural minimization of divergent programs.
+
+The shrinker works on the AST, not on text: candidate reductions are
+
+* deleting one non-``main`` function entirely,
+* deleting one statement from any block (at any nesting depth),
+* replacing an ``if`` by its taken branch's statements.
+
+A candidate is kept when the reduced program still parses, typechecks, and
+**still diverges** under the same harness configuration.  Reductions repeat
+to a fixed point (bounded by ``max_attempts`` executor runs — each predicate
+evaluation replays every executor).  The result is a small, human-readable
+counterexample for the regression record; it is greedy delta debugging, so
+minimality is local, which is all a reproduction needs.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.lang.ast_nodes import Block, FunctionDecl, If, Program
+from repro.lang.pretty import unparse
+
+
+def _blocks_of(func: FunctionDecl) -> list[Block]:
+    """Every block of ``func`` in deterministic pre-order."""
+    return [node for node in func.body.walk() if isinstance(node, Block)]
+
+
+def _candidates(program: Program):
+    """Yield ``(description, reduced_program)`` pairs, largest cuts first."""
+    for f_idx, func in enumerate(program.functions):
+        if func.name == "main":
+            continue
+        reduced = copy.deepcopy(program)
+        del reduced.functions[f_idx]
+        yield f"drop function {func.name}", reduced
+    for f_idx, func in enumerate(program.functions):
+        blocks = _blocks_of(func)
+        for b_idx, block in enumerate(blocks):
+            for s_idx, stmt in enumerate(block.statements):
+                reduced = copy.deepcopy(program)
+                target = _blocks_of(reduced.functions[f_idx])[b_idx]
+                removed = target.statements[s_idx]
+                if isinstance(removed, If):
+                    # first try flattening to the then-branch, then deletion
+                    flattened = copy.deepcopy(program)
+                    flat_target = _blocks_of(flattened.functions[f_idx])[b_idx]
+                    flat_if = flat_target.statements[s_idx]
+                    flat_target.statements[s_idx : s_idx + 1] = (
+                        flat_if.then_body.statements
+                    )
+                    yield f"flatten if in {func.name}", flattened
+                del target.statements[s_idx]
+                yield f"drop statement in {func.name}", reduced
+
+
+def shrink_source(
+    source: str,
+    pes: int = 3,
+    unroll_factor: int = 3,
+    max_attempts: int = 250,
+    predicate=None,
+) -> str:
+    """Minimize ``source`` while it keeps diverging; returns the best form.
+
+    ``predicate`` defaults to "the harness still reports a divergence"; tests
+    inject their own to exercise the reducer without needing a live bug.
+    """
+    from repro.fuzz.harness import run_source
+    from repro.lang.errors import LangError
+    from repro.lang.parser import parse_program
+
+    def still_diverges(candidate: str) -> bool:
+        if predicate is not None:
+            return predicate(candidate)
+        return run_source(
+            candidate, pes=pes, unroll_factor=unroll_factor
+        ).diverged
+
+    try:
+        best_program = parse_program(source)
+    except LangError:
+        return source
+    best = source
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for _desc, reduced in _candidates(best_program):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            candidate = unparse(reduced)
+            if still_diverges(candidate):
+                best, best_program = candidate, reduced
+                improved = True
+                break  # restart candidate enumeration on the smaller program
+    return best

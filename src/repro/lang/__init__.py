@@ -22,6 +22,7 @@ and recursive functions.  This subpackage provides that substrate:
 """
 
 from repro.lang.errors import (
+    InterpreterLimitError,
     LangError,
     LexError,
     ParseError,
@@ -85,6 +86,7 @@ from repro.lang.pretty import PrettyPrinter, unparse
 from repro.lang.builder import ProgramBuilder
 
 __all__ = [
+    "InterpreterLimitError",
     "LangError",
     "LexError",
     "ParseError",

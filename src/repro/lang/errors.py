@@ -40,6 +40,23 @@ class RuntimeLangError(LangError):
     """
 
 
+class InterpreterLimitError(RuntimeLangError):
+    """Raised when interpretation exhausts a configured resource budget.
+
+    Distinct from every other :class:`RuntimeLangError`: exceeding a step or
+    call-depth budget means the program was *cut off*, not that it computed
+    something wrong.  Differential testing relies on the distinction — a
+    budgeted run that raises this must be classified "exhausted", never
+    "diverged", and the CLI reports it as its own failure status.
+
+    ``kind`` is ``"steps"`` or ``"depth"``.
+    """
+
+    def __init__(self, message: str, kind: str, line: int | None = None):
+        self.kind = kind
+        super().__init__(message, line)
+
+
 class SpeculativeTraversalError(RuntimeLangError):
     """Raised when a program *uses* a value obtained by traversing past NULL.
 

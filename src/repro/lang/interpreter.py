@@ -54,7 +54,11 @@ from repro.lang.ast_nodes import (
     VarDecl,
     While,
 )
-from repro.lang.errors import RuntimeLangError, SpeculativeTraversalError
+from repro.lang.errors import (
+    InterpreterLimitError,
+    RuntimeLangError,
+    SpeculativeTraversalError,
+)
 from repro.lang.heap import Heap, NULL_REF
 from repro.lang.types import scalar_type
 
@@ -132,12 +136,15 @@ class Interpreter:
         program: Program,
         speculative_traversal: bool = True,
         max_steps: int | None = None,
+        max_call_depth: int | None = None,
     ):
         self.program = program
         self.heap = Heap()
         self.stats = ExecutionStats()
         self.speculative_traversal = speculative_traversal
         self.max_steps = max_steps
+        self.max_call_depth = max_call_depth
+        self._call_depth = 0
         self.builtins: dict[str, Callable[..., Any]] = {}
         self.output: list[str] = []
         self._type_decls: dict[str, TypeDecl] = {t.name: t for t in program.types}
@@ -194,10 +201,27 @@ class Interpreter:
         for param, value in zip(func.params, args):
             frame.set(param.name, value)
         self.stats.calls += 1
+        if self.max_call_depth is not None and self._call_depth >= self.max_call_depth:
+            raise InterpreterLimitError(
+                f"call depth budget of {self.max_call_depth} exhausted "
+                f"(calling {name!r})",
+                kind="depth",
+            )
+        self._call_depth += 1
         try:
             self.execute_block(func.body, frame)
         except _ReturnSignal as ret:
             return ret.value
+        except RecursionError:
+            # unbounded interpreted recursion must surface as a typed,
+            # catchable budget error, never as the host's RecursionError
+            raise InterpreterLimitError(
+                f"host recursion limit reached while calling {name!r}; "
+                "set max_call_depth to budget recursion explicitly",
+                kind="depth",
+            ) from None
+        finally:
+            self._call_depth -= 1
         return None
 
     # -- allocation ------------------------------------------------------------
@@ -237,10 +261,19 @@ class Interpreter:
         for stmt in block.statements:
             self.execute_statement(stmt, frame)
 
+    def _check_step_budget(self) -> None:
+        # statements + expressions together bound every loop shape: a
+        # `while true { }` body executes no statements, but its condition is
+        # re-evaluated every iteration and burns expression steps
+        if self.stats.statements + self.stats.expressions > self.max_steps:  # type: ignore[operator]
+            raise InterpreterLimitError(
+                f"step budget of {self.max_steps} exhausted", kind="steps"
+            )
+
     def execute_statement(self, stmt: Stmt, frame: Frame) -> None:
         self.stats.statements += 1
-        if self.max_steps is not None and self.stats.statements > self.max_steps:
-            raise RuntimeLangError("maximum interpretation steps exceeded")
+        if self.max_steps is not None:
+            self._check_step_budget()
         if isinstance(stmt, VarDecl):
             value = self.evaluate(stmt.init, frame) if stmt.init is not None else NULL_REF
             frame.set(stmt.name, value)
@@ -335,6 +368,8 @@ class Interpreter:
     # -- expressions ------------------------------------------------------------
     def evaluate(self, expr: Expr, frame: Frame) -> Any:
         self.stats.expressions += 1
+        if self.max_steps is not None:
+            self._check_step_budget()
         if isinstance(expr, IntLit):
             return expr.value
         if isinstance(expr, FloatLit):
@@ -471,9 +506,16 @@ def run_program(
     args: tuple[Any, ...] = (),
     speculative_traversal: bool = True,
     builtins: dict[str, Callable[..., Any]] | None = None,
+    max_steps: int | None = None,
+    max_call_depth: int | None = None,
 ) -> tuple[Any, Interpreter]:
     """Convenience wrapper: interpret ``entry`` and return (result, interpreter)."""
-    interp = Interpreter(program, speculative_traversal=speculative_traversal)
+    interp = Interpreter(
+        program,
+        speculative_traversal=speculative_traversal,
+        max_steps=max_steps,
+        max_call_depth=max_call_depth,
+    )
     if builtins:
         for name, func in builtins.items():
             interp.register_builtin(name, func)

@@ -86,7 +86,7 @@ def insert_particle(
     particle: Particle,
     root: OctreeNode,
     stats: BuildStats | None = None,
-    max_depth: int = 64,
+    max_depth: int = 512,
 ) -> None:
     """Insert ``particle`` below ``root`` (whose box must contain it)."""
     node = root
@@ -108,9 +108,18 @@ def insert_particle(
         index = node.octant_of(particle.position)
         child = node.subtrees[index]
         if child is None:
-            child = OctreeNode(
-                center=node.octant_center(index), half_size=node.half_size / 2.0
-            )
+            center = node.octant_center(index)
+            # subdivision can only separate particles while the octant
+            # centers still move: once the child's center rounds to the
+            # parent's (the quarter-size underflowed, or fell below one ulp
+            # of the center coordinates), the particles are coincident at
+            # floating-point resolution
+            if center == node.center:
+                raise RuntimeError(
+                    "octree subdivision cannot separate particles that "
+                    "coincide at floating-point resolution"
+                )
+            child = OctreeNode(center=center, half_size=node.half_size / 2.0)
             node.subtrees[index] = child
         node = child
         # depth counts actual tree levels, not loop iterations: a subdivision

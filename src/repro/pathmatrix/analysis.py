@@ -24,11 +24,16 @@ from repro.lang.ast_nodes import (
     ExprStmt,
     FieldAccess,
     FieldAssign,
+    For,
     FunctionDecl,
+    If,
     IndexAccess,
     Name,
+    ParallelFor,
     Program,
+    Return,
     Stmt,
+    VarDecl,
     While,
     collect_pointer_variables,
     iter_statements,
@@ -421,6 +426,146 @@ def _collect_accesses(
     return writes, reads
 
 
+def _expr_reads(expr) -> set[str]:
+    """Every variable name referenced anywhere inside an expression."""
+    return {n.ident for n in expr.walk() if isinstance(n, Name)}
+
+
+def _is_induction_update(stmt: Stmt) -> bool:
+    """``p = p->f`` — the pointer-chasing update form."""
+    return (
+        isinstance(stmt, Assign)
+        and isinstance(stmt.value, FieldAccess)
+        and isinstance(stmt.value.base, Name)
+        and stmt.value.base.ident == stmt.target
+    )
+
+
+def _scan_scalar_reads(
+    statements: list[Stmt],
+    priv: set[str],
+    tracked: set[str],
+    flagged: dict[str, int | None],
+) -> set[str]:
+    """Walk a statement sequence in execution order, flagging cross-iteration
+    scalar reads.
+
+    ``priv`` holds the variables already assigned *unconditionally* earlier
+    in the same iteration; a read of a ``tracked`` variable outside ``priv``
+    observes the previous iteration's value and is recorded in ``flagged``
+    (name -> source line of the first such read).  Returns ``priv`` extended
+    with the variables this sequence unconditionally assigns.  Assignments
+    under a branch or inside a nested loop never extend the caller's ``priv``
+    — the branch may not be taken, the loop may run zero times.
+    """
+
+    def flag(reads: set[str], line: int | None) -> None:
+        for name in sorted((reads & tracked) - priv):
+            flagged.setdefault(name, line)
+
+    for stmt in statements:
+        if isinstance(stmt, Assign):
+            flag(_expr_reads(stmt.value), stmt.line)
+            priv = priv | {stmt.target}
+        elif isinstance(stmt, VarDecl):
+            if stmt.init is not None:
+                flag(_expr_reads(stmt.init), stmt.line)
+            priv = priv | {stmt.name}  # an uninitialized declaration resets to NULL
+        elif isinstance(stmt, FieldAssign):
+            reads = _expr_reads(stmt.base) | _expr_reads(stmt.value)
+            if stmt.index is not None:
+                reads |= _expr_reads(stmt.index)
+            flag(reads, stmt.line)
+        elif isinstance(stmt, ExprStmt):
+            flag(_expr_reads(stmt.expr), stmt.line)
+        elif isinstance(stmt, Return):
+            if stmt.value is not None:
+                flag(_expr_reads(stmt.value), stmt.line)
+        elif isinstance(stmt, Block):
+            priv = _scan_scalar_reads(stmt.statements, priv, tracked, flagged)
+        elif isinstance(stmt, If):
+            flag(_expr_reads(stmt.cond), stmt.line)
+            _scan_scalar_reads(stmt.then_body.statements, set(priv), tracked, flagged)
+            if stmt.else_body is not None:
+                _scan_scalar_reads(stmt.else_body.statements, set(priv), tracked, flagged)
+        elif isinstance(stmt, While):
+            # straight-line order within the body holds on every inner
+            # iteration, so the body is scanned against the outer priv
+            flag(_expr_reads(stmt.cond), stmt.line)
+            _scan_scalar_reads(stmt.body.statements, set(priv), tracked, flagged)
+        elif isinstance(stmt, (For, ParallelFor)):
+            reads = _expr_reads(stmt.lo) | _expr_reads(stmt.hi)
+            if stmt.step is not None:
+                reads |= _expr_reads(stmt.step)
+            flag(reads, stmt.line)
+            _scan_scalar_reads(
+                stmt.body.statements, priv | {stmt.var}, tracked, flagged
+            )
+        else:
+            flag({n.ident for n in stmt.walk() if isinstance(n, Name)}, stmt.line)
+    return priv
+
+
+def _scalar_loop_dependences(
+    func: FunctionDecl, loop: While, induction_vars: set[str]
+) -> list[str]:
+    """Loop-carried dependences through *scalar* frame variables.
+
+    The heap conflict test only sees ``(variable, field)`` accesses, so a
+    reduction like ``s = s + p->coef`` is invisible to it — yet the
+    strip-mined iteration procedure receives frame variables by value, i.e.
+    privatized, and such updates would silently be dropped.  A variable
+    assigned in the body is safe only when it is privatizable: every read of
+    it in an iteration is dominated by an unconditional assignment earlier
+    in the same iteration, and its last value is dead after the loop.  The
+    loop's pointer-induction variables (including those of nested loops) are
+    exempt — their cross-iteration behaviour is exactly what the
+    primed-variable matrix pass decides.
+    """
+    assigned: set[str] = set()
+    for stmt in iter_statements(loop.body):
+        if isinstance(stmt, Assign) and not _is_induction_update(stmt):
+            assigned.add(stmt.target)
+        elif isinstance(stmt, VarDecl):
+            assigned.add(stmt.name)
+        elif isinstance(stmt, (For, ParallelFor)):
+            assigned.add(stmt.var)
+    tracked = assigned - induction_vars
+    if not tracked:
+        return []
+
+    flagged: dict[str, int | None] = {}
+    # the condition runs at the top of every iteration, before any
+    # assignment of that iteration
+    for name in sorted(_expr_reads(loop.cond) & tracked):
+        flagged.setdefault(name, loop.line)
+    _scan_scalar_reads(loop.body.statements, set(), tracked, flagged)
+
+    def at(line: int | None) -> str:
+        return f" (line {line})" if line is not None else ""
+
+    deps = [
+        f"scalar variable {name!r} carries a value across iterations: "
+        f"read{at(line)} before an unconditional assignment"
+        for name, line in sorted(flagged.items())
+    ]
+
+    # last-value liveness: privatizing a scalar also drops its final value,
+    # so a post-loop use of an assigned variable sequentializes the loop
+    inside = {id(node) for node in loop.walk()}
+    outside_reads = {
+        node.ident
+        for node in func.body.walk()
+        if isinstance(node, Name) and id(node) not in inside
+    }
+    for name in sorted((tracked - set(flagged)) & outside_reads):
+        deps.append(
+            f"scalar variable {name!r} is assigned in the loop body and "
+            f"referenced after the loop (last-value dependence)"
+        )
+    return deps
+
+
 def analyze_loop_dependence(
     program: Program,
     function_name: str,
@@ -504,6 +649,20 @@ def analyze_loop_dependence(
     report.carried_dependences.extend(
         _conflicts_across_iterations(pm, primes, report.writes, report.reads, ctx)
     )
+
+    # dependences the heap conflict test cannot see: scalar frame variables
+    report.carried_dependences.extend(
+        _scalar_loop_dependences(func, loop, set(report.induction_vars))
+    )
+
+    # a write to a field some induction variable chases rewires the very
+    # chain the parallel iterations would be distributed over
+    traversal_fields = set(report.induction_vars.values())
+    for var, fld in sorted({(v, f) for v, f in report.writes if f in traversal_fields}):
+        report.carried_dependences.append(
+            f"write to traversal field {var}->{fld} may relink the structure "
+            f"being traversed"
+        )
     if not report.abstraction_valid:
         report.carried_dependences.append(
             "ADDS abstraction not valid at loop entry; traversal properties unusable"

@@ -31,6 +31,7 @@ from repro.lang.ast_nodes import (
     BinOp,
     Block,
     FieldAccess,
+    FieldAssign,
     If,
     Name,
     NullLit,
@@ -45,7 +46,12 @@ from repro.transform.dependence import (
     classify_loop,
     find_while_loops,
 )
-from repro.transform.stripmine import TransformError, _find_traversal_update, _fresh_name
+from repro.transform.stripmine import (
+    TransformError,
+    _check_traversal_shape,
+    _find_traversal_update,
+    _fresh_name,
+)
 
 
 @dataclass
@@ -96,9 +102,19 @@ def software_pipeline_loop(
     if found is None:
         raise TransformError("loop body has no traversal update p = p->f")
     update_idx, traversal_var, traversal_field = found
+    _check_traversal_shape(loop, update_idx, traversal_var)
     work = [s for i, s in enumerate(loop.body.statements) if i != update_idx]
     if not work:
         raise TransformError("loop body consists only of the traversal update")
+    # the kernel loads p->next *before* the work runs; a store to the
+    # traversal field would make the prefetched link stale
+    for stmt in work:
+        for node in stmt.walk():
+            if isinstance(node, FieldAssign) and node.field == traversal_field:
+                raise TransformError(
+                    f"loop body writes the traversal field {traversal_field!r}; "
+                    f"the prefetched link would be stale"
+                )
 
     taken = {p.name for p in func.params} | {
         s.name for s in iter_statements(func.body) if isinstance(s, VarDecl)

@@ -109,6 +109,68 @@ def _find_traversal_update(body: Block) -> tuple[int, str, str] | None:
     return None
 
 
+def _is_null_check(cond: Expr, var: str) -> bool:
+    """``var <> NULL`` or ``NULL <> var`` — the only exit test the skip loops
+    of the transformed code can reproduce."""
+    if not (isinstance(cond, BinOp) and cond.op == "<>"):
+        return False
+    left, right = cond.left, cond.right
+    return (
+        isinstance(left, Name) and left.ident == var and isinstance(right, NullLit)
+    ) or (
+        isinstance(right, Name) and right.ident == var and isinstance(left, NullLit)
+    )
+
+
+def _is_induction_update(stmt: Stmt) -> bool:
+    """``p = p->f`` — the pointer-chasing update form."""
+    return (
+        isinstance(stmt, Assign)
+        and isinstance(stmt.value, FieldAccess)
+        and isinstance(stmt.value.base, Name)
+        and stmt.value.base.ident == stmt.target
+    )
+
+
+def _check_traversal_shape(loop: While, update_idx: int, traversal_var: str) -> None:
+    """Structural preconditions shared by strip-mining and pipelining.
+
+    Both transforms assume the canonical traversal shape the paper works
+    with: the chain advances exactly once per iteration, as the *last* thing
+    the iteration does, and the loop exits exactly at the end of the chain.
+    Anything else silently changes meaning — work placed after the update
+    belongs to the *next* node, a second top-level update advances a pointer
+    the skip loops know nothing about, and a non-NULL exit test cannot be
+    evaluated by the processor-local skip loops.
+    """
+    if update_idx != len(loop.body.statements) - 1:
+        raise TransformError(
+            "the traversal update must be the last statement of the loop "
+            "body; statements after it operate on the next node"
+        )
+    top_updates = [
+        i for i, s in enumerate(loop.body.statements) if _is_induction_update(s)
+    ]
+    if top_updates != [update_idx]:
+        raise TransformError(
+            "loop body must contain exactly one top-level pointer-induction "
+            "update; additional updates advance pointers the transformed "
+            "code cannot track"
+        )
+    update = loop.body.statements[update_idx]
+    for stmt in iter_statements(loop.body):
+        if isinstance(stmt, Assign) and stmt.target == traversal_var and stmt is not update:
+            raise TransformError(
+                f"traversal variable {traversal_var!r} is reassigned inside "
+                f"the loop body"
+            )
+    if not _is_null_check(loop.cond, traversal_var):
+        raise TransformError(
+            f"loop condition must be exactly {traversal_var!r} <> NULL: the "
+            f"transformed code tests only for end-of-chain"
+        )
+
+
 def _free_names(statements: list[Stmt], bound: set[str], program: Program) -> list[str]:
     """Names referenced by ``statements`` that are not locally bound.
 
@@ -193,6 +255,7 @@ def strip_mine_loop(
     if found is None:
         raise TransformError("loop body has no top-level traversal update p = p->f")
     update_idx, traversal_var, traversal_field = found
+    _check_traversal_shape(loop, update_idx, traversal_var)
 
     work = [s for i, s in enumerate(loop.body.statements) if i != update_idx]
     if not work:

@@ -12,9 +12,12 @@ between copies::
                                  }
 
 The guards on the 2nd..k-th copies are required because the list length need
-not be a multiple of ``k``.  When the structure is speculatively traversable
-*and* the work is known to be harmless on a NULL node the guards could be
-dropped; we keep them for a semantics-preserving transformation.
+not be a multiple of ``k``; each guard repeats the loop's *own* condition —
+guarding with a mere NULL check would run the extra copies for a loop such
+as ``while p->coef > 0`` past its actual exit point.  When the structure is
+speculatively traversable *and* the work is known to be harmless on a NULL
+node the guards could be dropped; we keep them for a semantics-preserving
+transformation.
 
 The transformation is legal for any loop (it does not reorder work between
 iterations), but it is *useful* — exposes instruction-level parallelism —
@@ -28,13 +31,10 @@ import copy
 from dataclasses import dataclass, field
 
 from repro.lang.ast_nodes import (
-    Assign,
-    BinOp,
     Block,
-    FieldAccess,
+    Call,
     If,
-    Name,
-    NullLit,
+    New,
     Program,
     While,
     iter_statements,
@@ -90,11 +90,21 @@ def unroll_loop(
         raise TransformError("loop body has no traversal update p = p->f")
     _idx, traversal_var, traversal_field = found
 
+    # the guards re-evaluate the loop condition between body copies, so the
+    # condition must be pure — a call could observe the extra evaluation
+    if any(isinstance(n, (Call, New)) for n in loop.cond.walk()):
+        raise TransformError(
+            "loop condition contains a call or allocation; unrolling would "
+            "re-evaluate its side effects"
+        )
+
     original_body = list(loop.body.statements)
     new_statements = list(copy.deepcopy(original_body))
     for _ in range(factor - 1):
         guarded = If(
-            cond=BinOp(op="<>", left=Name(traversal_var), right=NullLit()),
+            # the loop's own condition, not just `p <> NULL`: the 2nd..k-th
+            # copies must stop exactly where the original loop would have
+            cond=copy.deepcopy(loop.cond),
             then_body=Block(statements=copy.deepcopy(original_body)),
         )
         new_statements.append(guarded)
@@ -108,7 +118,7 @@ def unroll_loop(
         traversal_field=traversal_field,
         dependence=dependence,
         notes=[
-            "copies 2..k are guarded by p <> NULL because the list length "
-            "need not be a multiple of the unroll factor"
+            "copies 2..k are guarded by the loop's own condition because the "
+            "trip count need not be a multiple of the unroll factor"
         ],
     )

@@ -113,6 +113,17 @@ class TestCaching:
         assert before["caller"] != after["caller"]  # callee body changed
         assert before["unrelated"] == after["unrelated"]
 
+    def test_identical_text_at_different_lines_gets_distinct_keys(self):
+        """Cached reports embed absolute source lines in their diagnostics,
+        so the same helper pasted into two files at different offsets must
+        not share a cache entry (found when two corpus programs shared a
+        byte-identical ``insert``)."""
+        shifted = "\n\n\n\n" + self.BASE
+        before, after = self._digests(self.BASE), self._digests(shifted)
+        assert before["leaf"] != after["leaf"]
+        assert before["caller"] != after["caller"]
+        assert before["unrelated"] != after["unrelated"]
+
     def test_options_partition_the_cache(self, tmp_path, paper_items):
         item = [paper_items[0]]
         a = BatchDriver(jobs=1, cache_dir=tmp_path).analyze_corpus(item)

@@ -1,0 +1,131 @@
+"""Observation capture, diffing, and the interpreter resource budgets."""
+
+import pytest
+
+from repro.fuzz.observation import (
+    ERROR,
+    EXHAUSTED,
+    OK,
+    Observation,
+    diff_observations,
+    observe,
+)
+from repro.lang.errors import InterpreterLimitError
+from repro.lang.interpreter import run_program
+from repro.lang.parser import parse_program
+
+COUNTDOWN = """
+function main()
+{ var i; var s;
+  i = 10;
+  s = 0;
+  while i > 0
+  { s = s + i;
+    print(s);
+    i = i - 1;
+  }
+  return s;
+}
+"""
+
+RECURSIVE = """
+function spin(n)
+{ return spin(n + 1); }
+
+function main()
+{ return spin(0); }
+"""
+
+ALLOCATES = """
+type Node [X]
+{ int v;
+  Node *next is uniquely forward along X;
+};
+
+function main()
+{ var a; var b;
+  a = new Node;
+  a->v = 1;
+  b = new Node;
+  b->v = 2;
+  a->next = b;
+  return a->v + b->v;
+}
+"""
+
+
+class TestObserve:
+    def test_ok_run_captures_everything(self):
+        obs = observe(parse_program(COUNTDOWN))
+        assert obs.status == OK
+        assert obs.result == 55
+        assert obs.output[0] == "10" and obs.output[-1] == "55"
+        assert obs.steps > 0
+
+    def test_heap_snapshot_includes_pointer_fields(self):
+        obs = observe(parse_program(ALLOCATES))
+        assert obs.status == OK and obs.result == 3
+        assert len(obs.heap) == 2
+        (_, type_name, fields) = obs.heap[0]
+        assert type_name == "Node"
+        assert dict(fields)["v"] == 1
+        assert "next" in dict(fields)
+
+    def test_step_budget_reports_exhausted_not_error(self):
+        obs = observe(parse_program(COUNTDOWN), max_steps=20)
+        assert obs.status == EXHAUSTED
+        assert "step budget" in obs.error
+
+    def test_depth_budget_reports_exhausted_not_error(self):
+        obs = observe(parse_program(RECURSIVE), max_call_depth=16)
+        assert obs.status == EXHAUSTED
+        assert "depth" in obs.error
+
+    def test_limit_error_is_typed_with_kind(self):
+        with pytest.raises(InterpreterLimitError) as exc:
+            run_program(parse_program(COUNTDOWN), max_steps=5)
+        assert exc.value.kind == "steps"
+        with pytest.raises(InterpreterLimitError) as exc:
+            run_program(parse_program(RECURSIVE), max_call_depth=8)
+        assert exc.value.kind == "depth"
+
+
+class TestDiff:
+    def _ok(self, **kwargs):
+        defaults = dict(status=OK, result=1, output=("a",), heap=())
+        defaults.update(kwargs)
+        return Observation(**defaults)
+
+    def test_identical_observations_agree(self):
+        assert diff_observations(self._ok(), self._ok()) == []
+
+    def test_exhausted_never_diverges(self):
+        cut_off = Observation(status=EXHAUSTED, error="step budget of 5 exhausted")
+        assert diff_observations(self._ok(), cut_off) == []
+
+    def test_status_difference_reports_the_error(self):
+        crashed = Observation(status=ERROR, error="NULL dereference (line 3)")
+        (diff,) = diff_observations(self._ok(), crashed)
+        assert "status" in diff and "NULL dereference" in diff
+
+    def test_result_difference(self):
+        diffs = diff_observations(self._ok(), self._ok(result=2))
+        assert any("result" in d for d in diffs)
+
+    def test_first_differing_output_line_is_named(self):
+        diffs = diff_observations(
+            self._ok(output=("a", "b", "c")), self._ok(output=("a", "X", "c"))
+        )
+        assert diffs == ["output[1]: reference 'b' vs 'X'"]
+
+    def test_output_length_difference(self):
+        diffs = diff_observations(
+            self._ok(output=("a",)), self._ok(output=("a", "b"))
+        )
+        assert diffs == ["output length: reference 1 vs 2"]
+
+    def test_heap_field_difference_names_cell_and_field(self):
+        ref = self._ok(heap=((1, "Node", (("v", 1),)),))
+        other = self._ok(heap=((1, "Node", (("v", 2),)),))
+        (diff,) = diff_observations(ref, other)
+        assert diff == "heap cell #1 (Node).v: reference 1 vs 2"

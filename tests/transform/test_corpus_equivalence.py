@@ -1,0 +1,60 @@
+"""Every corpus program must behave identically under every transform.
+
+Each ``examples/corpus/*.ptr`` file runs through the differential harness:
+the reference interpreter, the machine simulator, and the strip-mined,
+unrolled, and software-pipelined variants of the program.  A transform that
+(correctly) refuses a loop simply drops out of the comparison; any variant
+that *does* run must reproduce the reference's return value, printed output,
+and final heap exactly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.executors import REFERENCE
+from repro.fuzz.harness import PASS, run_source
+from repro.fuzz.observation import OK
+
+CORPUS_DIR = Path(__file__).resolve().parents[2] / "examples" / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.ptr"))
+
+#: pinned reference results — a change here means the kernel's semantics
+#: changed, which must be deliberate
+EXPECTED_RESULTS = {
+    "list_sum": 1056,
+    "tree_insert": 108,
+    "list_reverse": 1496,
+    "tree_rotate": 913517,
+    "dag_traverse": 132995,
+}
+
+
+def test_corpus_is_nonempty_and_fully_pinned():
+    names = {path.stem for path in CORPUS}
+    assert names == set(EXPECTED_RESULTS)
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+class TestCorpusEquivalence:
+    def test_reference_result_is_pinned(self, path):
+        case = run_source(path.read_text())
+        assert case.reference is not None and case.reference.status == OK
+        assert case.reference.result == EXPECTED_RESULTS[path.stem]
+
+    def test_all_variants_match_reference(self, path):
+        case = run_source(path.read_text())
+        assert case.status == PASS, case.summary()
+        assert not case.divergences
+
+    def test_loop_kernels_exercise_transforms(self, path):
+        # the pointer-chasing kernels must actually produce transformed
+        # variants (recursive-only programs legitimately produce none)
+        case = run_source(path.read_text())
+        ran = {name for name, status in case.executors.items() if status == OK}
+        assert REFERENCE in ran
+        if path.stem in ("list_sum", "dag_traverse"):
+            assert {"strip-mine", "machine-sim", "unroll", "software-pipeline"} <= ran
+        if path.stem == "list_reverse":
+            # the reversal loop is sequential, but the checksum loop unrolls
+            assert "unroll" in ran
