@@ -10,8 +10,12 @@ Scales the per-function analysis core across whole programs and corpora:
   examples, ``examples/corpus/*.ptr``, stress generators),
 * :mod:`repro.driver.pipeline`  — the per-function job and the whole-program
   simulation stage,
-* :mod:`repro.driver.batch`     — the orchestrator fanning waves of
-  independent functions across a ``multiprocessing`` pool,
+* :mod:`repro.driver.executor`  — the self-healing persistent worker pool
+  (per-task deadlines, targeted kill-and-respawn, sacrificial runs),
+* :mod:`repro.driver.faults`    — deterministic fault injection and
+  poison-task quarantine records (see ``docs/robustness.md``),
+* :mod:`repro.driver.batch`     — the orchestrator scheduling call-graph
+  components onto the pool, with retry/bisection/quarantine policy,
 * :mod:`repro.driver.cli`       — the ``python -m repro`` front end.
 """
 

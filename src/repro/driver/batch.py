@@ -1,4 +1,4 @@
-"""The whole-program batch driver: ready-queue scheduled, memoized analysis.
+"""The whole-program batch driver: ready-queue scheduled, memoized, fault-tolerant.
 
 For every corpus program the driver parses the source, builds the call
 graph, and condenses it into strongly-connected components.  Components are
@@ -17,12 +17,34 @@ multiprocessing overhead).  Every function's report is memoized in the
 on-disk :class:`~repro.driver.cache.ResultCache` keyed by its own AST and
 the unparsed bodies of its transitive callees, so a warm re-run performs no
 analysis at all (the acceptance test asserts exactly that).
+
+Partial failure stays partial.  The pooled path reacts to the executor's
+``crashed``/``timeout`` events with an escalation ladder instead of aborting:
+
+1. a multi-component chunk that dies is **bisected** — the halves re-run,
+   isolating the offender while the innocents complete;
+2. a single-component task that dies is **retried with exponential
+   backoff**, up to ``max_retries`` times;
+3. a component that exhausts its retries runs once in a **sacrificial
+   single-task subprocess**; if it completes there, its results are used;
+4. if it kills the sacrificial runner too it is **quarantined**: its
+   functions are marked ``status="quarantined"``, a replayable JSON record
+   is written (see :mod:`repro.driver.faults`), and it is never
+   re-dispatched;
+5. a task that blows the per-task deadline is bisected the same way; a lone
+   component that keeps timing out through its retries is marked
+   ``status="timeout"`` — hangs never stall the batch.
+
+Failed functions are *reported* (and never cached, so the next run retries
+them); every healthy function still completes.  Only an unrecoverable pool
+(respawn failure, respawn budget exhausted) aborts the run.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.lang.errors import LangError
 from repro.pathmatrix.interproc import summaries_from_payloads
@@ -36,14 +58,48 @@ from repro.driver.executor import (
     TaskTiming,
     estimate_cost,
     pack_chunks,
+    run_sacrificial,
     warm_parsed_programs,
 )
+from repro.driver.faults import SIMULATE_TOKEN, write_quarantine_record
 from repro.driver.pipeline import (
     PipelineOptions,
     analyze_function_job,
     parsed_program,
     simulate_program,
 )
+
+#: first retry of a crashed component waits this long; each further retry
+#: doubles it (pure backoff — the analysis itself is deterministic)
+RETRY_BACKOFF_BASE_S = 0.05
+
+#: function statuses that mean the driver could not produce a result
+FAILURE_STATUSES = ("timeout", "crashed", "quarantined")
+
+
+@dataclass
+class ResilienceCounters:
+    """How much fault-handling one batch run actually did.
+
+    Zero everywhere on a healthy run; surfaced in the report's ``stats``
+    and in ``--profile`` output, in the spirit of an operable daemon's
+    health counters.
+    """
+
+    retries: int = 0  # task re-dispatches (retry or bisection half)
+    timeouts: int = 0  # deadline-watchdog kills
+    worker_crashes: int = 0  # worker deaths attributed to a task
+    worker_respawns: int = 0  # pool workers replaced
+    sacrificial_runs: int = 0  # suspect chunks verified in a throwaway process
+    quarantined: int = 0  # functions quarantined as poison
+    cache_evictions: int = 0  # corrupt cache entries detected and removed
+    cache_io_retries: int = 0  # cache reads that needed a second attempt
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def any_faults(self) -> bool:
+        return any(asdict(self).values())
 
 
 @dataclass
@@ -59,7 +115,8 @@ class ProgramReport:
     error: str | None = None
 
     def summaries(self):
-        """Re-interned :class:`FunctionSummary` objects, one per function."""
+        """Re-interned :class:`FunctionSummary` objects, one per function
+        (functions that failed before producing a summary are skipped)."""
         return summaries_from_payloads(
             payload.get("summary") for payload in self.functions.values()
         )
@@ -86,10 +143,14 @@ class BatchReport:
     #: whole-program simulations served from the cache
     simulation_cache_hits: int = 0
     jobs: int = 1
+    #: workers actually used (1 when the pool was bypassed or never needed)
+    effective_jobs: int = 1
+    host_cpus: int | None = None
     start_method: str | None = None
     elapsed_s: float = 0.0
     #: aggregate task timing breakdown; ``tasks`` detail only with profiling
     profile: dict | None = None
+    resilience: ResilienceCounters = field(default_factory=ResilienceCounters)
 
     def program(self, name: str) -> ProgramReport:
         for report in self.programs:
@@ -100,6 +161,17 @@ class BatchReport:
     def function_count(self) -> int:
         return sum(len(p.functions) for p in self.programs)
 
+    def failed_functions(self) -> list[tuple[str, str, str]]:
+        """Every function the driver could not analyze, as
+        ``(program, function, status)`` tuples."""
+        failed = []
+        for program in self.programs:
+            for name, payload in program.functions.items():
+                status = payload.get("status", "ok")
+                if status in FAILURE_STATUSES:
+                    failed.append((program.name, name, status))
+        return failed
+
     def to_dict(self) -> dict:
         stats = {
             "programs": len(self.programs),
@@ -108,8 +180,11 @@ class BatchReport:
             "cache_hits": self.cache_hits,
             "simulation_cache_hits": self.simulation_cache_hits,
             "jobs": self.jobs,
+            "effective_jobs": self.effective_jobs,
+            "host_cpus": self.host_cpus,
             "start_method": self.start_method,
             "elapsed_s": self.elapsed_s,
+            "resilience": self.resilience.to_dict(),
         }
         if self.profile is not None:
             stats["profile"] = self.profile
@@ -120,7 +195,7 @@ class BatchReport:
 
 
 class BatchExecutionError(RuntimeError):
-    """The batch could not run to completion (e.g. a worker crashed)."""
+    """The batch could not run to completion (e.g. the pool is unrecoverable)."""
 
 
 @dataclass
@@ -138,6 +213,9 @@ class _ProgramPlan:
     costs: dict[int, int] = field(default_factory=dict)
     #: component -> count of not-yet-landed callee components
     blockers: dict[int, int] = field(default_factory=dict)
+    #: component -> how many times a task holding it crashed
+    crash_attempts: dict[int, int] = field(default_factory=dict)
+    sim_attempts: int = 0
     landed: set[int] = field(default_factory=set)
     #: runnable components not yet packed into a chunk
     ready: list[int] = field(default_factory=list)
@@ -172,6 +250,22 @@ class BatchDriver:
     memoization.  ``start_method`` picks the multiprocessing start method
     (default: ``fork`` where available, else ``spawn``); ``profile=True``
     keeps the per-task timing breakdown in the report.
+
+    Fault tolerance (pooled path only — inline runs share the caller's
+    process and cannot be killed or respawned):
+
+    * ``task_timeout`` — per-task deadline in seconds; an overdue task's
+      worker is killed, the task bisected or marked ``timeout``.  ``None``
+      disables the watchdog (the executor's global stall backstop remains).
+    * ``max_retries`` — crashes a single component survives before the
+      sacrificial run (then quarantine).
+    * ``max_respawns`` — total worker replacements before the pool is
+      declared unrecoverable (:class:`BatchExecutionError`); ``None`` means
+      unbounded (the retry caps already guarantee termination).
+    * ``quarantine``/``quarantine_dir`` — whether poison components get the
+      sacrificial verification + quarantine treatment (otherwise they are
+      marked ``crashed`` once retries exhaust), and where replayable
+      quarantine records are written (``None``: statuses only, no records).
     """
 
     def __init__(
@@ -182,6 +276,12 @@ class BatchDriver:
         simulate: bool = True,
         start_method: str | None = None,
         profile: bool = False,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+        max_respawns: int | None = None,
+        quarantine: bool = True,
+        quarantine_dir=None,
+        retry_backoff_s: float = RETRY_BACKOFF_BASE_S,
     ):
         self.jobs = max(1, int(jobs))
         self.options = options or PipelineOptions()
@@ -189,10 +289,16 @@ class BatchDriver:
         self.simulate = simulate
         self.start_method = start_method
         self.profile = profile
+        self.task_timeout = task_timeout
+        self.max_retries = max(0, int(max_retries))
+        self.max_respawns = max_respawns
+        self.quarantine = quarantine
+        self.quarantine_dir = quarantine_dir
+        self.retry_backoff_s = retry_backoff_s
 
     # -- public entry points -------------------------------------------------
     def analyze_corpus(self, items: list[CorpusItem]) -> BatchReport:
-        report = BatchReport(jobs=self.jobs)
+        report = BatchReport(jobs=self.jobs, host_cpus=os.cpu_count())
         started = time.perf_counter()
 
         plans = [self._plan_item(i, item, report) for i, item in enumerate(items)]
@@ -203,6 +309,8 @@ class BatchDriver:
         report.profile = self._aggregate_profile(timings)
 
         report.programs = [plan.report for plan in plans]
+        report.resilience.cache_evictions = self.cache.evictions
+        report.resilience.cache_io_retries = self.cache.io_retries
         report.elapsed_s = time.perf_counter() - started
         return report
 
@@ -263,6 +371,7 @@ class BatchDriver:
     # -- inline execution (jobs == 1, no executor) ----------------------------
     def _run_inline(self, plans: list[_ProgramPlan], batch: BatchReport) -> list[TaskTiming]:
         batch.start_method = None
+        batch.effective_jobs = 1
         work_started = time.perf_counter()
         functions_run = 0
         for plan in plans:
@@ -307,6 +416,7 @@ class BatchDriver:
             if plan.schedulable and (any(plan.pending.values()) or plan.needs_simulation)
         ]
         if not active:  # fully warm run: do not even start the pool
+            batch.effective_jobs = 1
             return []
         sources = [plan.item.source for plan in plans]
         # pre-fork warm-up: forked workers inherit the parsed programs
@@ -315,70 +425,261 @@ class BatchDriver:
         timings: list[TaskTiming] = []
         task_counter = 0
 
+        def next_task_id() -> int:
+            nonlocal task_counter
+            task_counter += 1
+            return task_counter
+
+        def analyze_task(plan: _ProgramPlan, components: list[int]) -> Task:
+            return Task(
+                task_id=next_task_id(),
+                kind="analyze",
+                program_index=plan.index,
+                program_name=plan.item.name,
+                functions=[n for m in components for n in plan.pending[m]],
+                components=components,
+                cost=sum(plan.costs[m] for m in components),
+                attempts={
+                    n: plan.crash_attempts.get(m, 0)
+                    for m in components
+                    for n in plan.pending[m]
+                },
+            )
+
+        def simulate_task(plan: _ProgramPlan) -> Task:
+            return Task(
+                task_id=next_task_id(),
+                kind="simulate",
+                program_index=plan.index,
+                program_name=plan.item.name,
+                attempts={SIMULATE_TOKEN: plan.sim_attempts},
+            )
+
         def make_tasks(plan: _ProgramPlan) -> list[Task]:
             """Pack everything currently ready in ``plan`` into chunk tasks."""
-            nonlocal task_counter
             if not plan.ready:
                 return []
             components = sorted(plan.ready)
             plan.ready = []
             groups = [(plan.pending[i], plan.costs[i]) for i in components]
-            tasks = []
-            for chunk in pack_chunks(groups):
-                members = [components[g] for g in chunk]
-                task_counter += 1
-                tasks.append(
-                    Task(
-                        task_id=task_counter,
-                        kind="analyze",
-                        program_index=plan.index,
-                        program_name=plan.item.name,
-                        functions=[n for m in members for n in plan.pending[m]],
-                        components=members,
-                        cost=sum(plan.costs[m] for m in members),
-                    )
-                )
-            return tasks
+            return [
+                analyze_task(plan, [components[g] for g in chunk])
+                for chunk in pack_chunks(groups)
+            ]
+
+        def backoff(attempt: int) -> float:
+            return self.retry_backoff_s * (2 ** max(0, attempt - 1))
 
         with PersistentExecutor(
-            self.jobs, sources, self.options, self.start_method
+            self.jobs,
+            sources,
+            self.options,
+            self.start_method,
+            task_timeout=self.task_timeout,
+            max_respawns=self.max_respawns,
         ) as executor:
             batch.start_method = executor.start_method
+            batch.effective_jobs = executor.jobs
+
+            def land_and_refill(plan: _ProgramPlan, components: list[int]) -> None:
+                for component in components:
+                    plan.land(component)
+                for new_task in make_tasks(plan):
+                    executor.submit(new_task)
+
+            def mark_failed(
+                plan: _ProgramPlan, components: list[int], status: str, detail: str
+            ) -> None:
+                """Give every function of ``components`` a failure payload and
+                unblock dependents (their own analyses may still succeed —
+                workers recompute callee summaries from source)."""
+                for m in components:
+                    for name in plan.pending[m]:
+                        plan.report.functions[name] = _failure_payload(
+                            name, status, detail
+                        )
+                        if status == "quarantined":
+                            batch.resilience.quarantined += 1
+                land_and_refill(plan, components)
+
+            def bisect_and_resubmit(plan: _ProgramPlan, task: Task, delay: float) -> None:
+                mid = len(task.components) // 2
+                for half in (task.components[:mid], task.components[mid:]):
+                    batch.resilience.retries += 1
+                    executor.submit_delayed(analyze_task(plan, half), delay)
+
+            def handle_done(task: Task, result: dict, timing: TaskTiming) -> None:
+                timings.append(timing)
+                plan = plans[task.program_index]
+                if task.kind == "simulate":
+                    self._record_simulation(plan, result["simulation"])
+                    return
+                for name in task.functions:
+                    self._record_result(plan, name, result["results"][name], batch)
+                land_and_refill(plan, task.components)
+
+            def handle_crashed(task: Task, exitcode: int | None) -> None:
+                batch.resilience.worker_crashes += 1
+                plan = plans[task.program_index]
+                detail = f"worker died (exit {exitcode})"
+                if task.kind == "simulate":
+                    plan.sim_attempts += 1
+                    if plan.sim_attempts <= self.max_retries:
+                        batch.resilience.retries += 1
+                        executor.submit_delayed(
+                            simulate_task(plan), backoff(plan.sim_attempts)
+                        )
+                    else:
+                        plan.report.simulation = {
+                            "status": "crashed",
+                            "entry": self.options.entry,
+                            "error": f"{detail} after {plan.sim_attempts} attempt(s)",
+                        }
+                        plan.needs_simulation = False
+                    return
+                for m in task.components:
+                    plan.crash_attempts[m] = plan.crash_attempts.get(m, 0) + 1
+                if len(task.components) > 1:
+                    # isolate the offender; innocents complete along the way
+                    bisect_and_resubmit(plan, task, delay=0.0)
+                    return
+                (component,) = task.components
+                attempts = plan.crash_attempts[component]
+                if attempts <= self.max_retries:
+                    batch.resilience.retries += 1
+                    executor.submit_delayed(
+                        analyze_task(plan, [component]), backoff(attempts)
+                    )
+                    return
+                self._handle_exhausted(
+                    plan, component, exitcode, executor, batch, land_and_refill,
+                    mark_failed,
+                )
+
+            def handle_timeout(task: Task) -> None:
+                batch.resilience.timeouts += 1
+                plan = plans[task.program_index]
+                detail = (
+                    f"killed by the deadline watchdog after "
+                    f"{self.task_timeout:.0f}s"
+                    if self.task_timeout is not None
+                    else "killed by the deadline watchdog"
+                )
+                if task.kind == "simulate":
+                    plan.report.simulation = {
+                        "status": "timeout",
+                        "entry": self.options.entry,
+                        "error": detail,
+                    }
+                    plan.needs_simulation = False
+                    return
+                for m in task.components:
+                    plan.crash_attempts[m] = plan.crash_attempts.get(m, 0) + 1
+                if len(task.components) > 1:
+                    # one hung function must not take its chunk-mates down:
+                    # re-run the halves, each under a fresh deadline
+                    bisect_and_resubmit(plan, task, delay=0.0)
+                    return
+                (component,) = task.components
+                attempts = plan.crash_attempts[component]
+                if attempts <= self.max_retries:
+                    # a transient straggler (I/O stall, page-cache miss) may
+                    # well finish within a fresh deadline — give it the same
+                    # retry budget a crash gets
+                    batch.resilience.retries += 1
+                    executor.submit_delayed(
+                        analyze_task(plan, [component]), backoff(attempts)
+                    )
+                    return
+                mark_failed(
+                    plan,
+                    task.components,
+                    "timeout",
+                    f"{detail}; retries exhausted after {attempts} attempt(s)",
+                )
+
             for plan in active:
                 for task in make_tasks(plan):
                     executor.submit(task)
                 if plan.needs_simulation:
                     # simulation re-derives everything from source, so it has
                     # no scheduling dependency: overlap it with analysis
-                    task_counter += 1
-                    executor.submit(
-                        Task(
-                            task_id=task_counter,
-                            kind="simulate",
-                            program_index=plan.index,
-                            program_name=plan.item.name,
-                        )
-                    )
-            try:
-                while executor.outstanding:
-                    for task, result, timing in executor.wait_one():
-                        timings.append(timing)
-                        plan = plans[task.program_index]
-                        if task.kind == "simulate":
-                            self._record_simulation(plan, result["simulation"])
-                            continue
-                        for name in task.functions:
-                            self._record_result(
-                                plan, name, result["results"][name], batch
-                            )
-                        for component in task.components:
-                            plan.land(component)
-                        for new_task in make_tasks(plan):
-                            executor.submit(new_task)
-            except Exception:
-                executor.shutdown()
-                raise
+                    executor.submit(simulate_task(plan))
+            while True:
+                events = executor.poll()
+                if not events:
+                    break
+                for event in events:
+                    if event.kind == "done":
+                        handle_done(event.task, event.result, event.timing)
+                    elif event.kind == "crashed":
+                        handle_crashed(event.task, event.exitcode)
+                    else:
+                        handle_timeout(event.task)
+            batch.resilience.worker_respawns = executor.respawns
         return timings
+
+    # -- escalation: retries exhausted -----------------------------------------
+    def _handle_exhausted(
+        self,
+        plan: _ProgramPlan,
+        component: int,
+        exitcode: int | None,
+        executor: PersistentExecutor,
+        batch: BatchReport,
+        land_and_refill,
+        mark_failed,
+    ) -> None:
+        functions = plan.pending[component]
+        attempts = plan.crash_attempts[component]
+        if not self.quarantine:
+            mark_failed(
+                plan,
+                [component],
+                "crashed",
+                f"worker died (exit {exitcode}) {attempts} time(s); retries exhausted",
+            )
+            return
+        # last chance: one run in a throwaway subprocess, so a repeat crash
+        # costs nothing but the subprocess
+        batch.resilience.sacrificial_runs += 1
+        status, reports = run_sacrificial(
+            executor.ctx,
+            plan.item.source,
+            functions,
+            self.options,
+            {name: attempts for name in functions},
+            self.task_timeout,
+        )
+        if status == "ok":
+            for name in functions:
+                self._record_result(plan, name, reports[name], batch)
+            land_and_refill(plan, [component])
+            return
+        if status == "timeout":
+            mark_failed(
+                plan,
+                [component],
+                "timeout",
+                "sacrificial run killed by the deadline watchdog",
+            )
+            return
+        detail = (
+            f"poison task: killed {attempts} pool worker(s) and the "
+            "sacrificial runner"
+        )
+        if self.quarantine_dir is not None:
+            path = write_quarantine_record(
+                self.quarantine_dir,
+                plan.item.name,
+                plan.item.source,
+                functions,
+                attempts,
+                exitcode,
+                self.options.key(),
+            )
+            detail += f"; record: {path}"
+        mark_failed(plan, [component], "quarantined", detail)
 
     # -- result bookkeeping ---------------------------------------------------
     def _record_result(
@@ -418,3 +719,21 @@ class BatchDriver:
         if self.profile:
             profile["tasks"] = [t.to_dict() for t in timings]
         return profile
+
+
+def _failure_payload(name: str, status: str, detail: str) -> dict:
+    """The report stub for a function the driver could not analyze.
+
+    Shaped like a normal per-function report (``summary``/``analysis``/
+    ``loops`` present) so report consumers need no special cases, with
+    ``status`` naming the failure and ``fault`` carrying the story.  Never
+    cached — the next run retries the function.
+    """
+    return {
+        "function": name,
+        "status": status,
+        "fault": detail,
+        "summary": None,
+        "analysis": {"error": f"{status}: {detail}"},
+        "loops": [],
+    }

@@ -10,6 +10,15 @@ preservation are settled by later analysis passes over the body, and the
 summaries themselves are a function of the hashed bodies and types anyway.)
 Editing a leaf invalidates its whole caller chain; editing an unrelated
 function invalidates nothing else.
+
+Entries are stored wrapped with a SHA-256 checksum of the canonical-JSON
+payload.  A truncated, garbled, or bit-flipped file — crashed writer, bad
+sector, an overeager ``sed`` — is therefore *detected* at read time, evicted
+from disk, and counted, and the function is simply re-analyzed; it can never
+feed a corrupt report into a batch.  Reads that raise :class:`OSError`
+(flaky network filesystems) are retried once before being treated as a
+miss.  ``verify()`` audits the whole directory on demand (the ``repro cache
+verify`` subcommand).
 """
 
 from __future__ import annotations
@@ -23,11 +32,12 @@ from repro.lang.ast_nodes import Program
 from repro.lang.pretty import unparse
 
 from repro.driver.callgraph import CallGraph
+from repro.driver.faults import active_plan
 
 #: bump when the per-function report schema or analysis semantics change
 #: (2: parallel-for gained the sequential for's step/descending/re-read
 #: semantics, so cached simulation reports from version 1 may be stale)
-CACHE_VERSION = 4  # v4: scalar/traversal-field dependences + transform shape checks
+CACHE_VERSION = 5  # v5: per-function status field + checksummed entries
 
 
 def _sha(*parts: str) -> str:
@@ -73,8 +83,40 @@ def function_digests(
     return digests
 
 
+class CorruptEntryError(ValueError):
+    """A cache file failed its integrity check."""
+
+
+def _payload_checksum(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def encode_entry(payload: dict) -> str:
+    """Wrap ``payload`` with its checksum for on-disk storage."""
+    return json.dumps(
+        {"sha256": _payload_checksum(payload), "payload": payload},
+        indent=1,
+        sort_keys=True,
+    )
+
+
+def decode_entry(text: str) -> dict:
+    """Unwrap a stored entry, raising :class:`CorruptEntryError` if it is
+    truncated, not a checksum wrapper, or fails the checksum."""
+    try:
+        wrapper = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CorruptEntryError(f"not valid JSON ({exc})") from None
+    if not isinstance(wrapper, dict) or set(wrapper) != {"payload", "sha256"}:
+        raise CorruptEntryError("missing checksum wrapper")
+    if _payload_checksum(wrapper["payload"]) != wrapper["sha256"]:
+        raise CorruptEntryError("checksum mismatch")
+    return wrapper["payload"]
+
+
 class ResultCache:
-    """A flat directory of ``<digest>.json`` report payloads.
+    """A flat directory of ``<digest>.json`` checksummed report payloads.
 
     ``directory=None`` disables the cache (every lookup misses, nothing is
     written) so the driver code has a single code path.
@@ -85,9 +127,14 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.evictions = 0  # corrupt entries detected and removed
+        self.io_retries = 0  # reads that failed once and were retried
         #: payloads already read (or written) this run; ``preload`` fills it
         #: in bulk so the scheduler's per-function probes are dict lookups
         self._memory: dict[str, dict] = {}
+        #: per-key read-attempt counts (drives deterministic transient-I/O
+        #: fault injection; harmless bookkeeping otherwise)
+        self._read_attempts: dict[str, int] = {}
 
     @property
     def enabled(self) -> bool:
@@ -96,6 +143,34 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         assert self.directory is not None
         return self.directory / f"{key}.json"
+
+    def _load(self, key: str) -> dict | None:
+        """Read + integrity-check one entry: transient ``OSError`` reads are
+        retried once; a corrupt entry is evicted from disk; both (and a
+        missing file) come back as ``None`` — i.e. a miss, re-analyze."""
+        path = self._path(key)
+        plan = active_plan()
+        for final in (False, True):
+            attempt = self._read_attempts.get(key, 0)
+            self._read_attempts[key] = attempt + 1
+            try:
+                if plan.should_io_error(key, attempt):
+                    raise OSError(f"injected transient I/O error reading {path.name}")
+                text = path.read_text()
+            except FileNotFoundError:
+                return None
+            except OSError:
+                if final:
+                    return None
+                self.io_retries += 1
+                continue
+            try:
+                return decode_entry(text)
+            except CorruptEntryError:
+                self.evictions += 1
+                path.unlink(missing_ok=True)
+                return None
+        return None
 
     def preload(self, keys) -> int:
         """Bulk-load ``keys`` into the in-memory layer; returns how many hit.
@@ -112,11 +187,10 @@ class ResultCache:
             if key in self._memory:
                 loaded += 1
                 continue
-            try:
-                self._memory[key] = json.loads(self._path(key).read_text())
+            payload = self._load(key)
+            if payload is not None:
+                self._memory[key] = payload
                 loaded += 1
-            except (OSError, json.JSONDecodeError):
-                continue
         return loaded
 
     def get(self, key: str) -> dict | None:
@@ -127,10 +201,8 @@ class ResultCache:
         if cached is not None:
             self.hits += 1
             return cached
-        path = self._path(key)
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        payload = self._load(key)
+        if payload is None:
             self.misses += 1
             return None
         self._memory[key] = payload
@@ -143,10 +215,16 @@ class ResultCache:
         self._memory[key] = payload
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
+        text = encode_entry(payload)
+        if active_plan().should_corrupt_cache(key, self.writes):
+            # simulate a torn write: publish a truncated, garbled entry (the
+            # in-memory copy above stays good — corruption bites the *next*
+            # process, exactly like the real failure)
+            text = text[: max(8, len(text) // 2)] + '"<<torn write>>'
         # per-process tmp name: two runs racing on the same key must not
         # share a scratch file, or one publishes the other's torn write
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        tmp.write_text(text)
         try:
             tmp.replace(path)  # atomic publish: concurrent runs see full files
         except OSError:
@@ -154,6 +232,31 @@ class ResultCache:
             # is best-effort, so losing one write must not abort the batch
             return
         self.writes += 1
+
+    def verify(self, evict: bool = False) -> dict:
+        """Audit every entry on disk against its checksum.
+
+        Returns ``{"checked", "ok", "corrupt": [{"file", "error"}, ...],
+        "evicted"}``; with ``evict=True`` corrupt files are also removed (and
+        counted in :attr:`evictions`) so the next run re-analyzes them.
+        """
+        report: dict = {"checked": 0, "ok": 0, "corrupt": [], "evicted": 0}
+        if self.directory is None or not self.directory.exists():
+            return report
+        for path in sorted(self.directory.glob("*.json")):
+            report["checked"] += 1
+            try:
+                decode_entry(path.read_text())
+            except (OSError, CorruptEntryError) as exc:
+                report["corrupt"].append({"file": path.name, "error": str(exc)})
+                if evict:
+                    path.unlink(missing_ok=True)
+                    self._memory.pop(path.stem, None)
+                    self.evictions += 1
+                    report["evicted"] += 1
+            else:
+                report["ok"] += 1
+        return report
 
     def clear(self) -> int:
         """Delete every cached payload; returns the number removed."""
@@ -177,4 +280,6 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "evictions": self.evictions,
+            "io_retries": self.io_retries,
         }

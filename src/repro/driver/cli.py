@@ -5,33 +5,59 @@ Subcommands:
 * ``analyze`` — run the whole pipeline (parse → typecheck → path-matrix
   analysis → ADDS validation → loop classification → transforms →
   machine-simulated speedup) over source files and/or a named corpus,
-  in parallel, with on-disk memoization.
+  in parallel, with on-disk memoization and fault tolerance (per-task
+  deadlines, crash retry, poison-task quarantine — see docs/robustness.md).
 * ``fuzz``    — differentially fuzz the executors: generate seeded random
   programs, run each through the reference interpreter, the machine
   simulator and every applicable transform output, and diff the results.
 * ``corpus``  — list the programs of the built-in corpora.
-* ``cache``   — show or clear the on-disk result cache.
+* ``cache``   — show, integrity-check (``verify``), or clear the result cache.
+* ``quarantine`` — list or replay poison-task quarantine records.
+
+Exit codes: 0 all-ok; 1 semantic failures in the report (analysis errors,
+heap mismatches); 2 usage errors; 3 unrecoverable worker-pool loss;
+4 completed with driver-level failures (timeouts / crashes / quarantines —
+partial results were produced and reported).
 
 Examples::
 
     python -m repro analyze --corpus builtin --jobs 4
     python -m repro analyze examples/corpus/list_sum.ptr --format json
+    python -m repro analyze --corpus paper --task-timeout 60 --max-retries 3
+    python -m repro analyze --corpus paper --inject-faults 'crash:rate=0.1,seed=7'
     python -m repro corpus
-    python -m repro cache --clear
+    python -m repro cache verify --evict
+    python -m repro quarantine --replay .repro-cache/quarantine/foo.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from pathlib import Path
 
-from repro.driver.batch import BatchDriver, BatchExecutionError, BatchReport
+from repro.driver.batch import (
+    FAILURE_STATUSES,
+    BatchDriver,
+    BatchExecutionError,
+    BatchReport,
+)
 from repro.driver.corpus import CORPORA, corpus_named, load_source_file
 from repro.driver.executor import WorkerPoolError, default_jobs
+from repro.driver.faults import FAULTS_ENV_VAR, FaultSpecError, parse_fault_spec
 from repro.driver.pipeline import PipelineOptions
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: default per-task deadline for ``analyze`` (seconds); ``--task-timeout 0``
+#: disables the watchdog entirely
+DEFAULT_TASK_TIMEOUT_S = 300.0
+
+#: exit code for "the batch completed, but some functions have driver-level
+#: failure statuses (timeout/crashed/quarantined)" — partial results exist
+EXIT_PARTIAL = 4
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -76,6 +102,54 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--no-cache", action="store_true", help="disable memoization")
     analyze.add_argument(
         "--no-simulate", action="store_true", help="skip the machine-simulation stage"
+    )
+    analyze.add_argument(
+        "--task-timeout",
+        type=float,
+        default=DEFAULT_TASK_TIMEOUT_S,
+        metavar="SECONDS",
+        help=(
+            "per-task deadline: tasks running longer are killed and marked "
+            f"status=timeout (default {DEFAULT_TASK_TIMEOUT_S:.0f}; "
+            "0 or negative disables the watchdog)"
+        ),
+    )
+    analyze.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help=(
+            "crashes a single task survives (with exponential backoff) before "
+            "the sacrificial run and quarantine (default 2)"
+        ),
+    )
+    analyze.add_argument(
+        "--max-respawns",
+        type=int,
+        default=None,
+        help=(
+            "total worker replacements tolerated before the pool is declared "
+            "unrecoverable (exit 3); default: unbounded"
+        ),
+    )
+    analyze.add_argument(
+        "--quarantine-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "where replayable poison-task records are written "
+            "(default: <cache-dir>/quarantine; with --no-cache, records are "
+            "not written unless this is given)"
+        ),
+    )
+    analyze.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault injection for chaos testing, e.g. "
+            "'crash:rate=0.1,seed=7;hang:function=scale' (see docs/robustness.md)"
+        ),
     )
     analyze.add_argument(
         "--solver",
@@ -134,9 +208,39 @@ def _build_parser() -> argparse.ArgumentParser:
     corpus = sub.add_parser("corpus", help="list the built-in corpus programs")
     corpus.add_argument("--name", default="builtin", choices=sorted(CORPORA))
 
-    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache = sub.add_parser(
+        "cache", help="inspect, integrity-check, or clear the result cache"
+    )
+    cache.add_argument(
+        "action",
+        nargs="?",
+        choices=("info", "verify"),
+        default="info",
+        help="info: entry count (default); verify: checksum every entry",
+    )
     cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     cache.add_argument("--clear", action="store_true", help="delete all cached results")
+    cache.add_argument(
+        "--evict",
+        action="store_true",
+        help="with verify: also remove the corrupt entries found",
+    )
+
+    quarantine = sub.add_parser(
+        "quarantine", help="list or replay poison-task quarantine records"
+    )
+    quarantine.add_argument(
+        "--dir",
+        default=str(Path(DEFAULT_CACHE_DIR) / "quarantine"),
+        help="quarantine record directory (default <cache-dir>/quarantine)",
+    )
+    quarantine.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="re-run the recorded analysis inline (a record file or a "
+        "directory of records); a truly poison task will crash this process "
+        "— that is the point",
+    )
     return parser
 
 
@@ -158,15 +262,19 @@ def render_text(report: BatchReport) -> str:
         )
         for name in sorted(program.functions):
             func = program.functions[name]
+            status = func.get("status", "ok")
+            if status in FAILURE_STATUSES:
+                lines.append(f"  {name}: {status.upper()}: {func.get('fault', '')}")
+                continue
             analysis = func.get("analysis", {})
             if analysis.get("error"):
                 lines.append(f"  {name}: analysis failed: {analysis['error']}")
                 continue
             valid = analysis.get("abstraction_valid", {})
             broken = sorted(t for t, ok in valid.items() if not ok)
-            status = f"violations for {', '.join(broken)}" if broken else "abstraction valid"
+            verdict = f"violations for {', '.join(broken)}" if broken else "abstraction valid"
             lines.append(
-                f"  {name}: {analysis.get('iterations', '?')} sweep(s), {status}"
+                f"  {name}: {analysis.get('iterations', '?')} sweep(s), {verdict}"
             )
             for loop in func.get("loops", []):
                 transforms = [
@@ -186,13 +294,33 @@ def render_text(report: BatchReport) -> str:
                     f"{match}"
                 )
             else:
-                lines.append(f"  simulation: {sim.get('status')}")
+                detail = f" ({sim['error']})" if sim.get("error") else ""
+                lines.append(f"  simulation: {sim.get('status')}{detail}")
         lines.append("")
     lines.append(
         f"{len(report.programs)} program(s), {report.function_count()} function(s): "
         f"{report.analyses_executed} analyzed, {report.cache_hits} from cache "
-        f"({report.jobs} job(s), {report.elapsed_s:.2f}s)"
+        f"({report.jobs} job(s), {report.effective_jobs} effective, "
+        f"{report.elapsed_s:.2f}s)"
     )
+    resilience = report.resilience
+    if resilience.any_faults():
+        lines.append(
+            "resilience: "
+            f"{resilience.retries} retrie(s), {resilience.timeouts} timeout(s), "
+            f"{resilience.worker_crashes} worker crash(es), "
+            f"{resilience.worker_respawns} respawn(s), "
+            f"{resilience.sacrificial_runs} sacrificial run(s), "
+            f"{resilience.quarantined} quarantined, "
+            f"{resilience.cache_evictions} cache eviction(s), "
+            f"{resilience.cache_io_retries} cache I/O retrie(s)"
+        )
+    failed = report.failed_functions()
+    if failed:
+        lines.append(
+            "failed: "
+            + ", ".join(f"{prog}/{fn} ({status})" for prog, fn, status in failed)
+        )
     if report.profile is not None:
         totals = report.profile["totals"]
         lines.append(
@@ -231,6 +359,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("error: no inputs (pass source files and/or --corpus)", file=sys.stderr)
         return 2
 
+    if args.inject_faults is not None:
+        try:
+            parse_fault_spec(args.inject_faults)
+        except FaultSpecError as exc:
+            print(f"error: bad --inject-faults spec: {exc}", file=sys.stderr)
+            return 2
+        # workers (fork and spawn both) inherit the environment
+        os.environ[FAULTS_ENV_VAR] = args.inject_faults
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    quarantine_dir = args.quarantine_dir
+    if quarantine_dir is None and cache_dir is not None:
+        quarantine_dir = str(Path(cache_dir) / "quarantine")
+
     options = PipelineOptions(
         solver=args.solver,
         use_adds=not args.no_adds,
@@ -239,17 +381,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     )
     driver = BatchDriver(
         jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
+        cache_dir=cache_dir,
         options=options,
         simulate=not args.no_simulate,
         start_method=args.start_method,
         profile=args.profile,
+        task_timeout=args.task_timeout if args.task_timeout > 0 else None,
+        max_retries=args.max_retries,
+        max_respawns=args.max_respawns,
+        quarantine_dir=quarantine_dir,
     )
     try:
         report = driver.analyze_corpus(items)
     except (BatchExecutionError, WorkerPoolError) as exc:
-        # a dead worker (or wedged pool) must surface as a failing exit, not
-        # a hang or a silently truncated report
+        # the pool itself is gone (not just some tasks): nothing trustworthy
+        # to report, so this stays a hard failure, never a hang
         print(f"error: batch execution failed: {exc}", file=sys.stderr)
         return 3
 
@@ -260,7 +406,23 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(render_text(report))
+    if _report_partial(report):
+        return EXIT_PARTIAL
     return 1 if _report_failed(report) else 0
+
+
+def _report_partial(report: BatchReport) -> bool:
+    """Driver-level degradation: some functions carry a failure status
+    (timeout/crashed/quarantined), or a simulation was lost to a fault.
+    The batch completed and partial results were reported — exit
+    :data:`EXIT_PARTIAL`, distinct from both semantic failure (1) and
+    unrecoverable pool loss (3)."""
+    if report.failed_functions():
+        return True
+    return any(
+        p.simulation is not None and p.simulation.get("status") in ("crashed", "timeout")
+        for p in report.programs
+    )
 
 
 def _report_failed(report: BatchReport) -> bool:
@@ -338,9 +500,56 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {args.cache_dir}")
         return 0
+    if args.action == "verify":
+        audit = cache.verify(evict=args.evict)
+        for entry in audit["corrupt"]:
+            print(f"corrupt: {entry['file']}: {entry['error']}")
+        print(
+            f"{args.cache_dir}: {audit['checked']} entr(ies) checked, "
+            f"{audit['ok']} ok, {len(audit['corrupt'])} corrupt, "
+            f"{audit['evicted']} evicted"
+        )
+        # corrupt entries still on disk are a problem; evicted ones are fixed
+        return 1 if len(audit["corrupt"]) > audit["evicted"] else 0
     directory = cache.directory
     count = len(list(directory.glob("*.json"))) if directory and directory.exists() else 0
     print(f"{args.cache_dir}: {count} cached result(s)")
+    return 0
+
+
+def _cmd_quarantine(args: argparse.Namespace) -> int:
+    from repro.driver.faults import load_quarantine_record, replay_quarantine_record
+
+    if args.replay:
+        target = Path(args.replay)
+        paths = sorted(target.glob("*.json")) if target.is_dir() else [target]
+        if not paths:
+            print(f"error: no quarantine records under {target}", file=sys.stderr)
+            return 2
+        errors = 0
+        for path in paths:
+            outcomes = replay_quarantine_record(path)
+            for name, outcome in sorted(outcomes.items()):
+                print(f"{path.name}: {name}: {outcome}")
+                if outcome != "ok":
+                    errors += 1
+        return 1 if errors else 0
+
+    directory = Path(args.dir)
+    records = sorted(directory.glob("*.json")) if directory.exists() else []
+    if not records:
+        print(f"{directory}: no quarantine records")
+        return 0
+    for path in records:
+        try:
+            record = load_quarantine_record(path)
+        except (ValueError, OSError) as exc:
+            print(f"{path.name}: unreadable record ({exc})")
+            continue
+        print(
+            f"{path.name}: {record.get('program')}: "
+            f"{', '.join(record.get('functions', []))} — {record.get('description')}"
+        )
     return 0
 
 
@@ -354,4 +563,6 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_corpus(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "quarantine":
+        return _cmd_quarantine(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

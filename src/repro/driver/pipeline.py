@@ -89,6 +89,7 @@ def analyze_function_job(
     analysis = analysis_for(source, options)
     report: dict = {
         "function": function,
+        "status": "ok",
         "solver": options.solver,
         "summary": analysis.summaries[function].to_dict()
         if function in analysis.summaries
@@ -112,6 +113,9 @@ def analyze_function_job(
             "error": None,
         }
     except AnalysisError as exc:
+        # a *semantic* failure (the analysis rejected the function) — distinct
+        # from the driver-level failure statuses (timeout/crashed/quarantined)
+        report["status"] = "error"
         report["analysis"] = {"error": str(exc)}
         return report
 

@@ -1,0 +1,152 @@
+"""Cache integrity tests: checksummed entries, corruption detection/eviction,
+the verify audit, and transient-I/O retry — including the injected-fault
+convergence property (a run whose cache writes were corrupted re-analyzes and
+converges on the next run instead of serving garbage).
+"""
+
+import json
+
+import pytest
+
+from repro.adds.library import standard_source
+from repro.driver.batch import BatchDriver
+from repro.driver.cache import (
+    CorruptEntryError,
+    ResultCache,
+    decode_entry,
+    encode_entry,
+)
+from repro.driver.corpus import CorpusItem
+from repro.driver.faults import FAULTS_ENV_VAR
+
+SRC = standard_source("ListNode") + """
+function touch(p) { p->coef = 1; return p; }
+"""
+
+
+class TestChecksumCodec:
+    def test_round_trip(self):
+        payload = {"function": "f", "loops": [1, 2], "nested": {"a": None}}
+        assert decode_entry(encode_entry(payload)) == payload
+
+    def test_truncated_entry_is_detected(self):
+        text = encode_entry({"function": "f"})
+        with pytest.raises(CorruptEntryError):
+            decode_entry(text[: len(text) // 2])
+
+    def test_garbage_is_detected(self):
+        with pytest.raises(CorruptEntryError, match="not valid JSON"):
+            decode_entry("}}} total garbage")
+
+    def test_legacy_unwrapped_entry_is_detected(self):
+        # pre-checksum cache files were the bare payload: must read as corrupt
+        # (and be evicted), never as a valid report
+        with pytest.raises(CorruptEntryError, match="checksum wrapper"):
+            decode_entry(json.dumps({"function": "f", "loops": []}))
+
+    def test_bit_flip_is_detected(self):
+        text = encode_entry({"function": "f", "iterations": 3})
+        flipped = text.replace('"iterations": 3', '"iterations": 4')
+        with pytest.raises(CorruptEntryError, match="checksum mismatch"):
+            decode_entry(flipped)
+
+
+class TestCorruptionRecovery:
+    def _seed(self, tmp_path, **kwargs):
+        driver = BatchDriver(jobs=1, cache_dir=tmp_path, simulate=False, **kwargs)
+        items = [CorpusItem(name="one", source=SRC)]
+        return driver, items, driver.analyze_corpus(items)
+
+    def test_corrupt_entry_is_evicted_and_reanalyzed(self, tmp_path):
+        _, items, seeded = self._seed(tmp_path)
+        assert seeded.analyses_executed == 1
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("garbage {{{")
+        driver = BatchDriver(jobs=1, cache_dir=tmp_path, simulate=False)
+        report = driver.analyze_corpus(items)
+        assert report.cache_hits == 0
+        assert report.analyses_executed == 1
+        assert report.resilience.cache_evictions == 1
+        # the rewritten entry is whole again
+        driver = BatchDriver(jobs=1, cache_dir=tmp_path, simulate=False)
+        warm = driver.analyze_corpus(items)
+        assert warm.cache_hits == 1
+        assert warm.resilience.cache_evictions == 0
+
+    def test_corrupt_and_clean_reports_are_identical(self, tmp_path):
+        _, items, seeded = self._seed(tmp_path)
+        clean = {p.name: p.functions for p in seeded.programs}
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text(entry.read_text()[:40])
+        recovered = BatchDriver(jobs=1, cache_dir=tmp_path, simulate=False).analyze_corpus(items)
+        assert {p.name: p.functions for p in recovered.programs} == clean
+
+    def test_injected_write_corruption_converges(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "cache:writes=1")
+        _, items, seeded = self._seed(tmp_path)
+        clean = {p.name: p.functions for p in seeded.programs}
+        monkeypatch.delenv(FAULTS_ENV_VAR)
+        # first uninjected run detects the torn write, evicts, re-analyzes
+        driver = BatchDriver(jobs=1, cache_dir=tmp_path, simulate=False)
+        healed = driver.analyze_corpus(items)
+        assert healed.resilience.cache_evictions == 1
+        assert healed.analyses_executed == 1
+        assert {p.name: p.functions for p in healed.programs} == clean
+        # second uninjected run is fully warm
+        warm = BatchDriver(jobs=1, cache_dir=tmp_path, simulate=False).analyze_corpus(items)
+        assert warm.cache_hits == 1
+        assert warm.analyses_executed == 0
+
+
+class TestVerify:
+    def _seeded_cache(self, tmp_path):
+        driver = BatchDriver(jobs=1, cache_dir=tmp_path, simulate=False)
+        driver.analyze_corpus([CorpusItem(name="one", source=SRC)])
+        return ResultCache(tmp_path)
+
+    def test_verify_clean_cache(self, tmp_path):
+        cache = self._seeded_cache(tmp_path)
+        audit = cache.verify()
+        assert audit["checked"] == audit["ok"] == 1
+        assert audit["corrupt"] == []
+
+    def test_verify_reports_without_evicting(self, tmp_path):
+        cache = self._seeded_cache(tmp_path)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("nope")
+        audit = cache.verify()
+        assert len(audit["corrupt"]) == 1
+        assert audit["evicted"] == 0
+        assert entry.exists()
+
+    def test_verify_evicts_on_request(self, tmp_path):
+        cache = self._seeded_cache(tmp_path)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("nope")
+        audit = cache.verify(evict=True)
+        assert audit["evicted"] == 1
+        assert cache.evictions == 1
+        assert not entry.exists()
+
+    def test_verify_on_missing_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.verify() == {"checked": 0, "ok": 0, "corrupt": [], "evicted": 0}
+
+
+class TestTransientIO:
+    def test_io_error_is_retried_once_and_counted(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", {"function": "f"})
+        monkeypatch.setenv(FAULTS_ENV_VAR, "io:rate=1.0,times=1")
+        fresh = ResultCache(tmp_path)
+        assert fresh.get("k1") == {"function": "f"}
+        assert fresh.io_retries == 1
+        assert fresh.hits == 1
+
+    def test_persistent_io_error_degrades_to_miss(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", {"function": "f"})
+        monkeypatch.setenv(FAULTS_ENV_VAR, "io:rate=1.0,times=99")
+        fresh = ResultCache(tmp_path)
+        assert fresh.get("k1") is None  # a miss, not an exception
+        assert fresh.misses == 1

@@ -109,6 +109,74 @@ class TestAnalyzeCommand:
         assert report["stats"]["start_method"] == "spawn"
 
 
+class TestFaultFlags:
+    def test_bad_inject_faults_spec_is_a_usage_error(self, capsys):
+        code = main(
+            ["analyze", "--corpus", "paper", "--no-cache",
+             "--inject-faults", "explode:rate=1"]
+        )
+        assert code == 2
+        assert "bad --inject-faults spec" in capsys.readouterr().err
+
+    def test_inject_faults_sets_env_for_workers(self, monkeypatch, capsys):
+        import os
+
+        from repro.driver.faults import FAULTS_ENV_VAR
+
+        # setenv (not delenv) so monkeypatch restores the variable after the
+        # CLI mutates os.environ in-process — otherwise the spec leaks into
+        # every later test in the session
+        monkeypatch.setenv(FAULTS_ENV_VAR, "")
+        code = main(
+            ["analyze", "--corpus", "paper", "--no-cache", "--no-simulate",
+             "--jobs", "2", "--inject-faults", "crash:rate=1.0,times=1",
+             "--format", "json"]
+        )
+        assert os.environ[FAULTS_ENV_VAR] == "crash:rate=1.0,times=1"
+        report = json.loads(capsys.readouterr().out)
+        # transient crashes: everything retried to success, exit stays 0
+        assert code == 0
+        assert report["stats"]["resilience"]["worker_crashes"] > 0
+        assert report["stats"]["resilience"]["retries"] > 0
+
+    def test_task_timeout_zero_disables_watchdog(self):
+        from repro.driver.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["analyze", "--corpus", "paper", "--task-timeout", "0"]
+        )
+        assert args.task_timeout == 0  # _cmd_analyze maps <=0 to None
+
+
+class TestQuarantineCommand:
+    def _write_record(self, tmp_path):
+        from repro.adds.library import standard_source
+        from repro.driver.faults import write_quarantine_record
+
+        source = standard_source("ListNode") + "function f(p) { return p; }\n"
+        return write_quarantine_record(
+            tmp_path, "prog", source, ["f"], 3, 13, "opts"
+        )
+
+    def test_list_empty_directory(self, tmp_path, capsys):
+        assert main(["quarantine", "--dir", str(tmp_path)]) == 0
+        assert "no quarantine records" in capsys.readouterr().out
+
+    def test_list_records(self, tmp_path, capsys):
+        self._write_record(tmp_path)
+        assert main(["quarantine", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "prog" in out and "killed 3 worker(s)" in out
+
+    def test_replay_healthy_record_exits_zero(self, tmp_path, capsys):
+        path = self._write_record(tmp_path)
+        assert main(["quarantine", "--replay", str(path)]) == 0
+        assert "f: ok" in capsys.readouterr().out
+
+    def test_replay_missing_records_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["quarantine", "--replay", str(tmp_path)]) == 2
+
+
 class TestOtherCommands:
     def test_corpus_listing(self, capsys):
         assert main(["corpus"]) == 0
@@ -126,6 +194,26 @@ class TestOtherCommands:
         assert "cached result(s)" in capsys.readouterr().out
         assert main(["cache", "--cache-dir", str(cache_dir), "--clear"]) == 0
         assert not list(cache_dir.glob("*.json"))
+
+    def test_cache_verify_detects_then_evicts(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        main(["analyze", "--corpus", "paper", "--no-simulate",
+              "--cache-dir", str(cache_dir)])
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
+        assert "0 corrupt" in capsys.readouterr().out
+        victim = sorted(cache_dir.glob("*.json"))[0]
+        victim.write_text("garbage")
+        # detection without --evict leaves the file and exits 1
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 1
+        assert "corrupt:" in capsys.readouterr().out
+        assert victim.exists()
+        # --evict removes it and exits 0
+        assert main(
+            ["cache", "verify", "--cache-dir", str(cache_dir), "--evict"]
+        ) == 0
+        assert not victim.exists()
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
 
 
 class TestModuleEntryPoint:

@@ -52,6 +52,14 @@ class TestDefaults:
         monkeypatch.setattr(os, "cpu_count", lambda: 3)
         assert default_jobs() == 3
 
+    def test_default_jobs_never_oversubscribes_a_constrained_host(self, monkeypatch):
+        # BENCH_driver.json came from a host_cpus=1 box where extra workers
+        # were ~89% queue-wait overhead: the default must stay at 1 there
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert default_jobs() == 1
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert default_jobs() == 2
+
     def test_default_jobs_floor_is_one(self, monkeypatch):
         monkeypatch.setattr(os, "cpu_count", lambda: None)
         assert default_jobs() == 1
@@ -184,27 +192,55 @@ class TestProfileLayer:
         inline = BatchDriver(jobs=1, cache_dir=None, simulate=False)
         assert inline.analyze_corpus(self._items()).to_dict()["stats"]["start_method"] is None
 
+    def test_report_stats_carry_effective_jobs_and_host_cpus(self):
+        driver = BatchDriver(jobs=2, cache_dir=None, simulate=False)
+        stats = driver.analyze_corpus(self._items()).to_dict()["stats"]
+        assert stats["jobs"] == 2
+        assert stats["effective_jobs"] == 2
+        assert stats["host_cpus"] == os.cpu_count()
+        assert stats["resilience"]["retries"] == 0
+        inline = BatchDriver(jobs=1, cache_dir=None, simulate=False)
+        assert inline.analyze_corpus(self._items()).to_dict()["stats"]["effective_jobs"] == 1
+
 
 class TestCrashSurfacing:
-    def test_worker_death_exits_nonzero_without_hanging(self, tmp_path):
-        """A worker hard-dying mid-task (OOM kill, segfault) must surface as
-        a failing CLI exit — not a hang, not a silently truncated report."""
-        source = tmp_path / "chain.ptr"
-        source.write_text(CHAIN_SRC)
-        proc = subprocess.run(
+    def _run_cli(self, source_path, *extra, env_extra=None):
+        env = {
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "PATH": "/usr/bin:/bin",
+        }
+        env.update(env_extra or {})
+        return subprocess.run(
             [
-                sys.executable, "-m", "repro", "analyze", str(source),
-                "--jobs", "2", "--no-cache", "--no-simulate",
+                sys.executable, "-m", "repro", "analyze", str(source_path),
+                "--jobs", "2", "--no-cache", "--no-simulate", *extra,
             ],
             capture_output=True,
             text=True,
-            env={
-                "PYTHONPATH": str(REPO_ROOT / "src"),
-                "PATH": "/usr/bin:/bin",
-                CRASH_ENV_VAR: "mid",
-            },
+            env=env,
             cwd=str(REPO_ROOT),
             timeout=300,
+        )
+
+    def test_worker_death_completes_with_quarantine(self, tmp_path):
+        """A worker hard-dying mid-task (OOM kill, segfault) must surface as
+        the completed-with-failures exit with the poison function quarantined
+        and every healthy function analyzed — not a hang, not an abort."""
+        source = tmp_path / "chain.ptr"
+        source.write_text(CHAIN_SRC)
+        proc = self._run_cli(source, env_extra={CRASH_ENV_VAR: "mid"})
+        assert proc.returncode == 4, (proc.stdout, proc.stderr)
+        assert "mid: QUARANTINED" in proc.stdout
+        # the innocent chunk-mates still completed
+        assert "tiny:" in proc.stdout and "big:" in proc.stdout
+
+    def test_respawn_budget_exhaustion_is_unrecoverable_exit_3(self, tmp_path):
+        """With a zero respawn budget the first worker death makes the pool
+        unrecoverable: the hard exit 3 is reserved for exactly this."""
+        source = tmp_path / "chain.ptr"
+        source.write_text(CHAIN_SRC)
+        proc = self._run_cli(
+            source, "--max-respawns", "0", env_extra={CRASH_ENV_VAR: "mid"}
         )
         assert proc.returncode == 3, (proc.stdout, proc.stderr)
         assert "batch execution failed" in proc.stderr

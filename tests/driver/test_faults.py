@@ -1,0 +1,266 @@
+"""Fault-injection harness + fault-tolerance policy tests.
+
+Covers the spec grammar, the determinism of injection decisions, and — via
+real multi-process batch runs with injected faults — every rung of the
+driver's escalation ladder: retry with backoff, chunk bisection, sacrificial
+verification, quarantine (with replayable records), and deadline timeouts.
+The convergence tests pin the acceptance property: a run that survives
+transient faults is bit-identical to a run that never saw them.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.adds.library import standard_source
+from repro.driver.batch import BatchDriver
+from repro.driver.corpus import CorpusItem, paper_corpus
+from repro.driver.executor import preferred_start_method
+from repro.driver.faults import (
+    FAULT_CRASH_EXIT,
+    FAULTS_ENV_VAR,
+    NO_FAULTS,
+    FaultSpecError,
+    load_quarantine_record,
+    parse_fault_spec,
+    replay_quarantine_record,
+)
+
+CHAIN_SRC = standard_source("ListNode") + """
+function tiny(p) { return p; }
+function mid(p) { p->coef = 1; return tiny(p); }
+function big(h)
+{ var p;
+  p = h;
+  while p <> NULL
+  { p->coef = p->coef + 1;
+    p = p->next;
+  }
+  return mid(h);
+}
+"""
+
+
+class TestSpecGrammar:
+    def test_empty_spec_is_no_faults(self):
+        assert parse_fault_spec("") == NO_FAULTS
+        assert not NO_FAULTS.enabled
+
+    def test_full_clause_round_trip(self):
+        plan = parse_fault_spec(
+            "crash:rate=0.25,seed=7,times=2;hang:function=scale,seconds=9;"
+            "slow:seconds=0.5;cache:rate=0.1,writes=3;io:rate=1.0,times=2"
+        )
+        assert plan.crash_rate == 0.25
+        assert plan.crash_seed == 7
+        assert plan.crash_times == 2
+        assert plan.hang_function == "scale"
+        assert plan.hang_seconds == 9.0
+        assert plan.slow_seconds == 0.5
+        assert plan.cache_corrupt_rate == 0.1
+        assert plan.cache_corrupt_writes == 3
+        assert plan.io_error_rate == 1.0
+        assert plan.io_error_times == 2
+        assert plan.enabled
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explode:rate=1",  # unknown kind
+            "crash:",  # no parameters
+            "crash:rate",  # no value
+            "crash:seed=x",  # unconvertible
+            "crash:rate=1.5",  # out of range
+            "hang:rate=0.5",  # wrong key for kind
+        ],
+    )
+    def test_nonsense_specs_raise(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(bad)
+
+    def test_whitespace_and_empty_clauses_tolerated(self):
+        plan = parse_fault_spec("  crash: rate = 0.5 ; ; slow: seconds = 1 ")
+        assert plan.crash_rate == 0.5
+        assert plan.slow_seconds == 1.0
+
+
+class TestDeterminism:
+    def test_decisions_are_pure_functions_of_spec_and_point(self):
+        a = parse_fault_spec("crash:rate=0.5,seed=3")
+        b = parse_fault_spec("crash:rate=0.5,seed=3")
+        for name in ("alpha", "beta", "gamma", "delta"):
+            assert a.should_crash(name, 0) == b.should_crash(name, 0)
+
+    def test_rate_roughly_matches_over_many_points(self):
+        plan = parse_fault_spec("crash:rate=0.3,seed=11")
+        hits = sum(plan.should_crash(f"fn{i}", 0) for i in range(2000))
+        assert 450 <= hits <= 750  # ~600 expected
+
+    def test_times_makes_faults_transient(self):
+        plan = parse_fault_spec("crash:rate=1.0,times=2")
+        assert plan.should_crash("f", 0)
+        assert plan.should_crash("f", 1)
+        assert not plan.should_crash("f", 2)
+
+    def test_named_function_overrides_rate(self):
+        plan = parse_fault_spec("crash:function=mid")
+        assert plan.should_crash("mid", 0)
+        assert not plan.should_crash("tiny", 0)
+
+    def test_seed_changes_the_victim_set(self):
+        a = parse_fault_spec("crash:rate=0.5,seed=1")
+        b = parse_fault_spec("crash:rate=0.5,seed=2")
+        names = [f"fn{i}" for i in range(200)]
+        assert [a.should_crash(n, 0) for n in names] != [
+            b.should_crash(n, 0) for n in names
+        ]
+
+
+def _run_batch(items, faults, monkeypatch, **kwargs):
+    if faults is None:
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+    else:
+        monkeypatch.setenv(FAULTS_ENV_VAR, faults)
+    driver = BatchDriver(cache_dir=None, **kwargs)
+    return driver.analyze_corpus(items)
+
+
+def _function_dicts(report):
+    return {p.name: p.functions for p in report.programs}
+
+
+class TestCrashRecovery:
+    """Injected worker crashes exercised through real multi-process runs."""
+
+    def _items(self):
+        return [CorpusItem(name="chain", source=CHAIN_SRC)]
+
+    @pytest.mark.parametrize(
+        "start_method",
+        sorted({preferred_start_method(), "spawn"}),
+    )
+    def test_transient_crash_converges_bit_identical(self, monkeypatch, start_method):
+        """Satellite: a batch that succeeds after injected transient crashes
+        must be bit-identical to an uninjected run — under fork AND spawn
+        (the spawn path re-imports everything in the worker, so its crash
+        and retry machinery is genuinely distinct)."""
+        clean = _run_batch(
+            self._items(), None, monkeypatch,
+            jobs=2, simulate=False, start_method=start_method,
+        )
+        faulted = _run_batch(
+            self._items(), "crash:rate=1.0,times=1", monkeypatch,
+            jobs=2, simulate=False, start_method=start_method,
+            retry_backoff_s=0.01,
+        )
+        assert faulted.resilience.worker_crashes > 0
+        assert faulted.resilience.retries > 0
+        assert not faulted.failed_functions()
+        clean_dict = _function_dicts(clean)
+        faulted_dict = _function_dicts(faulted)
+        assert clean_dict == faulted_dict
+        # bit-identical, not just structurally equal
+        assert json.dumps(clean_dict, sort_keys=True) == json.dumps(
+            faulted_dict, sort_keys=True
+        )
+
+    def test_poison_function_is_quarantined_with_record(self, monkeypatch, tmp_path):
+        qdir = tmp_path / "quarantine"
+        report = _run_batch(
+            self._items(), "crash:function=mid,times=99", monkeypatch,
+            jobs=2, simulate=False, max_retries=1, retry_backoff_s=0.01,
+            quarantine_dir=qdir,
+        )
+        payload = report.program("chain").functions["mid"]
+        assert payload["status"] == "quarantined"
+        assert payload["summary"] is None
+        assert "poison" in payload["fault"]
+        assert report.resilience.quarantined == 1
+        assert report.resilience.sacrificial_runs == 1
+        # healthy functions completed despite sharing chunks with the poison
+        assert report.program("chain").functions["tiny"].get("status") == "ok"
+        assert report.program("chain").functions["big"].get("status") == "ok"
+        # the record replays: without the fault env the analysis is healthy
+        (record_path,) = sorted(qdir.glob("*.json"))
+        record = load_quarantine_record(record_path)
+        assert record["functions"] == ["mid"]
+        assert record["worker_exitcode"] == FAULT_CRASH_EXIT
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        assert replay_quarantine_record(record_path) == {"mid": "ok"}
+
+    def test_no_quarantine_marks_crashed(self, monkeypatch):
+        report = _run_batch(
+            self._items(), "crash:function=mid,times=99", monkeypatch,
+            jobs=2, simulate=False, max_retries=1, retry_backoff_s=0.01,
+            quarantine=False,
+        )
+        assert report.program("chain").functions["mid"]["status"] == "crashed"
+        assert report.resilience.sacrificial_runs == 0
+        assert report.resilience.quarantined == 0
+
+    def test_sacrificial_run_rescues_a_flaky_function(self, monkeypatch):
+        """A function whose crashes stop exactly when the retry budget runs
+        out completes in the sacrificial subprocess — no quarantine."""
+        report = _run_batch(
+            self._items(), "crash:function=mid,times=2", monkeypatch,
+            jobs=2, simulate=False, max_retries=1, retry_backoff_s=0.01,
+        )
+        assert report.program("chain").functions["mid"].get("status") == "ok"
+        assert report.resilience.sacrificial_runs == 1
+        assert report.resilience.quarantined == 0
+        assert not report.failed_functions()
+
+
+class TestDeadlines:
+    def _items(self):
+        return [CorpusItem(name="chain", source=CHAIN_SRC)]
+
+    def test_hung_task_is_killed_and_marked_timeout(self, monkeypatch):
+        report = _run_batch(
+            self._items(), "hang:function=mid,times=99,seconds=600", monkeypatch,
+            jobs=2, simulate=False, task_timeout=1.5, max_retries=1,
+            retry_backoff_s=0.01,
+        )
+        payload = report.program("chain").functions["mid"]
+        assert payload["status"] == "timeout"
+        assert report.resilience.timeouts >= 2  # initial attempt + retry
+        # chunk-mates of the hung function were not lost
+        assert report.program("chain").functions["tiny"].get("status") == "ok"
+        assert report.program("chain").functions["big"].get("status") == "ok"
+
+    def test_transient_hang_is_survived_by_bisection_retry(self, monkeypatch):
+        """A hang that fires only once costs a timeout event, then the
+        re-dispatched task completes: no failure statuses."""
+        report = _run_batch(
+            self._items(), "hang:function=mid,times=1,seconds=600", monkeypatch,
+            jobs=2, simulate=False, task_timeout=1.5, retry_backoff_s=0.01,
+        )
+        assert not report.failed_functions()
+        assert report.resilience.timeouts >= 1
+
+
+class TestSimulationFaults:
+    def _items(self):
+        # polynomial_scale has a main entry, so it actually simulates
+        return [item for item in paper_corpus() if "polynomial" in item.name]
+
+    def test_transient_simulate_crash_retries_to_success(self, monkeypatch):
+        report = _run_batch(
+            self._items(), "crash:function=@simulate,times=1", monkeypatch,
+            jobs=2, retry_backoff_s=0.01,
+        )
+        sim = report.programs[0].simulation
+        assert sim["status"] == "simulated"
+        assert report.resilience.worker_crashes >= 1
+
+    def test_permanent_simulate_crash_reports_crashed_status(self, monkeypatch):
+        report = _run_batch(
+            self._items(), "crash:function=@simulate,times=99", monkeypatch,
+            jobs=2, max_retries=1, retry_backoff_s=0.01,
+        )
+        sim = report.programs[0].simulation
+        assert sim["status"] == "crashed"
+        assert "worker died" in sim["error"]
+        # per-function analyses were unaffected
+        assert not report.failed_functions()
