@@ -7,6 +7,8 @@ Usage::
                                        [--key worklist_s]
     python benchmarks/compare_bench.py --check-scaling BENCH_driver.json
                                        [--min-ratio 1.0]
+    python benchmarks/compare_bench.py --check-incremental BENCH_incremental.json
+                                       [--min-speedup 10.0]
 
 **Diff mode** (two positional snapshots): scenarios are matched by name.  A
 scenario regresses when its timing key in NEW exceeds OLD by more than
@@ -20,6 +22,11 @@ the parallel driver must at least match serial (floor 1.0); on a
 single-core host the parallel scenarios measure pure scheduling/IPC
 overhead, so the floor relaxes to 0.85 — parallel may pay a few percent,
 never a collapse.  ``--min-ratio`` overrides the floor explicitly.
+
+**Incremental mode** (``--check-incremental``): reads one
+``BENCH_incremental.json`` snapshot and fails unless (a) each single-edit
+scenario re-ran exactly one analysis — the summary-digest firewall held —
+and (b) the recorded edit-vs-cold speedups clear the floor (default 10x).
 
 Exit status: 0 when no regression, 1 on regression, 2 on usage/parse
 errors.
@@ -38,6 +45,11 @@ MULTI_CORE_FLOOR = 1.0
 SINGLE_CORE_FLOOR = 0.85
 #: the scaling ratio the CI gate judges
 SCALING_KEY = "parallel_4_vs_serial"
+
+#: floor for the single-edit-vs-cold speedup of the incremental engine
+MIN_EDIT_SPEEDUP = 10.0
+#: the single-edit scenarios the incremental gate judges
+EDIT_SCENARIOS = ("edit_leaf", "edit_root")
 
 
 def load(path: str) -> dict:
@@ -84,6 +96,44 @@ def check_scaling(payload: dict, min_ratio: float | None) -> int:
     return 0
 
 
+def check_incremental(payload: dict, min_speedup: float | None) -> int:
+    floor = MIN_EDIT_SPEEDUP if min_speedup is None else min_speedup
+    speedup = payload.get("speedup")
+    if not speedup:
+        print("error: snapshot has no 'speedup' section", file=sys.stderr)
+        return 2
+    scenarios = scenarios_by_name(payload)
+    failures: list[str] = []
+    for name in EDIT_SCENARIOS:
+        row = scenarios.get(name)
+        if row is None:
+            print(f"error: snapshot has no {name!r} scenario", file=sys.stderr)
+            return 2
+        executed = row.get("analyses_executed")
+        ratio = speedup.get(f"{name}_vs_cold")
+        print(
+            f"  {name:<12} {executed} analysis(es) re-run, "
+            f"{ratio:.1f}x vs cold" if ratio is not None else f"  {name}: no ratio"
+        )
+        if executed != 1:
+            failures.append(
+                f"{name}: {executed} analyses re-ran after a single edit "
+                f"(the summary firewall did not hold)"
+            )
+        if ratio is None or ratio < floor:
+            failures.append(
+                f"{name}: {ratio if ratio is not None else 'missing'}x "
+                f"vs cold is below the {floor:.1f}x floor"
+            )
+    if failures:
+        print(f"\nFAIL: {len(failures)} incremental gate violation(s):")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print(f"\nOK: single-edit re-analysis holds the {floor:.1f}x floor")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("old", nargs="?", help="baseline BENCH_*.json")
@@ -110,6 +160,20 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="override the host-aware scaling floor (with --check-scaling)",
     )
+    parser.add_argument(
+        "--check-incremental",
+        metavar="SNAPSHOT",
+        help="check the single-edit speedup of one incremental snapshot",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help=(
+            "override the edit-vs-cold speedup floor (with "
+            f"--check-incremental; default {MIN_EDIT_SPEEDUP:.0f})"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.check_scaling:
@@ -117,6 +181,14 @@ def main(argv: list[str] | None = None) -> int:
             print("error: --check-scaling takes no OLD/NEW snapshots", file=sys.stderr)
             return 2
         return check_scaling(load(args.check_scaling), args.min_ratio)
+    if args.check_incremental:
+        if args.old or args.new:
+            print(
+                "error: --check-incremental takes no OLD/NEW snapshots",
+                file=sys.stderr,
+            )
+            return 2
+        return check_incremental(load(args.check_incremental), args.min_speedup)
     if not args.old or not args.new:
         print("error: diff mode needs OLD and NEW snapshots", file=sys.stderr)
         return 2

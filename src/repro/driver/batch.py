@@ -46,11 +46,12 @@ import os
 import time
 from dataclasses import asdict, dataclass, field
 
+from repro.lang.ast_nodes import Program
 from repro.lang.errors import LangError
 from repro.pathmatrix.interproc import summaries_from_payloads
 
 from repro.driver.cache import ResultCache, function_digests, program_digest
-from repro.driver.callgraph import Condensation, build_call_graph, condense
+from repro.driver.callgraph import CallGraph, Condensation, build_call_graph, condense
 from repro.driver.corpus import CorpusItem
 from repro.driver.executor import (
     PersistentExecutor,
@@ -68,6 +69,7 @@ from repro.driver.pipeline import (
     parsed_program,
     simulate_program,
 )
+from repro.driver.stages import IncrementalStats, StagedEngine
 
 #: first retry of a crashed component waits this long; each further retry
 #: doubles it (pure backoff — the analysis itself is deterministic)
@@ -151,6 +153,9 @@ class BatchReport:
     #: aggregate task timing breakdown; ``tasks`` detail only with profiling
     profile: dict | None = None
     resilience: ResilienceCounters = field(default_factory=ResilienceCounters)
+    #: staged-engine counters (inline runs only): reused / firewalled /
+    #: recomputed / dirty / fixpoints_run — see driver/stages.py
+    incremental: dict | None = None
 
     def program(self, name: str) -> ProgramReport:
         for report in self.programs:
@@ -186,6 +191,8 @@ class BatchReport:
             "elapsed_s": self.elapsed_s,
             "resilience": self.resilience.to_dict(),
         }
+        if self.incremental is not None:
+            stats["incremental"] = self.incremental
         if self.profile is not None:
             stats["profile"] = self.profile
         return {
@@ -206,6 +213,9 @@ class _ProgramPlan:
     item: CorpusItem
     report: ProgramReport
     cond: Condensation | None = None
+    #: parsed program + call graph (coordinator-side only, never pickled)
+    program: Program | None = None
+    graph: CallGraph | None = None
     digests: dict[str, str] = field(default_factory=dict)
     #: component -> cache-missed functions still to analyze
     pending: dict[int, list[str]] = field(default_factory=dict)
@@ -312,6 +322,13 @@ class BatchDriver:
         report.resilience.cache_evictions = self.cache.evictions
         report.resilience.cache_io_retries = self.cache.io_retries
         report.elapsed_s = time.perf_counter() - started
+        extra = {
+            "analyses_executed": report.analyses_executed,
+            "run_cache_hits": report.cache_hits,
+        }
+        if report.incremental is not None:
+            extra["incremental"] = report.incremental
+        self.cache.write_ledger(extra)
         return report
 
     # -- planning ------------------------------------------------------------
@@ -329,38 +346,44 @@ class BatchDriver:
             plan.report.error = str(exc)
             return plan
         plan.report.schedule = plan.cond.waves()
-        plan.digests = function_digests(program, graph, self.options.key())
-        self.cache.preload(plan.digests.values())
+        plan.program = program
+        plan.graph = graph
+        if self.jobs > 1:
+            # pooled path: legacy body-keyed report probing + ready-queue
+            # bookkeeping.  The inline path (jobs == 1) skips all of this —
+            # the staged engine probes the per-stage artifact store itself.
+            plan.digests = function_digests(program, graph, self.options.key())
+            self.cache.preload(plan.digests.values())
 
-        plan.blockers = plan.cond.initial_blockers()
-        for i, scc in enumerate(plan.cond.sccs):
-            pending: list[str] = []
-            cost = 0
-            for name in scc:
-                cached = self.cache.get(plan.digests[name])
-                if cached is not None:
-                    plan.report.functions[name] = cached
-                    batch.cache_hits += 1
-                else:
-                    pending.append(name)
-                    cost += estimate_cost(program.function_named(name), program)
-            plan.pending[i] = pending
-            plan.costs[i] = cost
-        # components with nothing to compute land immediately (their results
-        # came from the cache), which may free their dependents
-        for i in range(len(plan.cond.sccs)):
-            if not plan.pending[i]:
-                plan.land(i)
-        plan.ready = [
-            i
-            for i in range(len(plan.cond.sccs))
-            if plan.pending[i] and plan.blockers[i] == 0
-        ]
+            plan.blockers = plan.cond.initial_blockers()
+            for i, scc in enumerate(plan.cond.sccs):
+                pending: list[str] = []
+                cost = 0
+                for name in scc:
+                    cached = self.cache.get(plan.digests[name])
+                    if cached is not None:
+                        plan.report.functions[name] = cached
+                        batch.cache_hits += 1
+                    else:
+                        pending.append(name)
+                        cost += estimate_cost(program.function_named(name), program)
+                plan.pending[i] = pending
+                plan.costs[i] = cost
+            # components with nothing to compute land immediately (their
+            # results came from the cache), which may free their dependents
+            for i in range(len(plan.cond.sccs)):
+                if not plan.pending[i]:
+                    plan.land(i)
+            plan.ready = [
+                i
+                for i in range(len(plan.cond.sccs))
+                if plan.pending[i] and plan.blockers[i] == 0
+            ]
 
         if self.simulate:
             plan.sim_key = program_digest(item.source, self.options.key())
-            self.cache.preload([plan.sim_key])
-            cached = self.cache.get(plan.sim_key)
+            self.cache.preload([plan.sim_key], stage="sim")
+            cached = self.cache.get(plan.sim_key, stage="sim")
             if cached is not None:
                 plan.report.simulation = cached
                 batch.simulation_cache_hits += 1
@@ -368,27 +391,42 @@ class BatchDriver:
                 plan.needs_simulation = True
         return plan
 
-    # -- inline execution (jobs == 1, no executor) ----------------------------
+    # -- inline execution (jobs == 1, the staged incremental engine) -----------
     def _run_inline(self, plans: list[_ProgramPlan], batch: BatchReport) -> list[TaskTiming]:
         batch.start_method = None
         batch.effective_jobs = 1
         work_started = time.perf_counter()
         functions_run = 0
+        totals = IncrementalStats()
+        engine = StagedEngine(self.cache, self.options)
+
+        def count_reused(_name: str) -> None:
+            batch.cache_hits += 1
+
+        def count_recomputed(_name: str) -> None:
+            batch.analyses_executed += 1
+
         for plan in plans:
             if not plan.schedulable:
                 continue
-            # condensation order is bottom-up, so a plain scan never runs a
-            # component before its callees
-            for i in range(len(plan.cond.sccs)):
-                for name in plan.pending[i]:
-                    payload = analyze_function_job(plan.item.source, name, self.options)
-                    self._record_result(plan, name, payload, batch)
-                    functions_run += 1
-                plan.land(i)
+            # condensation order is bottom-up, so the engine's two phases
+            # never touch a component before its callees
+            stats = engine.run(
+                plan.item.name,
+                plan.program,
+                plan.graph,
+                plan.cond,
+                plan.report.functions,
+                on_reused=count_reused,
+                on_recomputed=count_recomputed,
+            )
+            totals.merge(stats)
+            functions_run += stats.recomputed
             if plan.needs_simulation:
                 self._record_simulation(
                     plan, simulate_program(plan.item.source, self.options)
                 )
+        batch.incremental = totals.to_dict()
         analyze_s = time.perf_counter() - work_started
         if not functions_run and not any(p.needs_simulation for p in plans):
             return []
@@ -692,7 +730,7 @@ class BatchDriver:
     def _record_simulation(self, plan: _ProgramPlan, payload: dict) -> None:
         plan.report.simulation = payload
         if plan.sim_key is not None:
-            self.cache.put(plan.sim_key, payload)
+            self.cache.put(plan.sim_key, payload, stage="sim")
         plan.needs_simulation = False
 
     # -- profiling ------------------------------------------------------------

@@ -1,24 +1,30 @@
-"""On-disk memoization of per-function analysis results.
+"""On-disk, content-addressed artifact store for the staged analysis engine.
 
-A function's cached report is keyed by a content hash of everything that can
-influence it: the analysis version and options, the program's type
-declarations (ADDS information changes verdicts), the function's own
-unparsed AST, and — per the bottom-up interprocedural discipline — the
-unparsed bodies of every transitive callee.  (Callee *bodies*, not just
-their side-effect summaries: derived verdicts such as abstraction
-preservation are settled by later analysis passes over the body, and the
-summaries themselves are a function of the hashed bodies and types anyway.)
-Editing a leaf invalidates its whole caller chain; editing an unrelated
-function invalidates nothing else.
+Each pipeline stage (typecheck verdict, function summary, fixpoint/validation
+report, loop classes, transform applicability, assembled report, simulation,
+manifest) stores its output as a separately addressed artifact under a
+per-stage subdirectory: ``<dir>/<stage>/<digest>.json``.  A stage's digest
+covers everything that can influence its output: the cache version, the
+analysis options, the program's type declarations (ADDS information changes
+verdicts), the function's own unparsed AST — and, per the bottom-up
+interprocedural discipline, the *artifact digests* of its direct callees'
+summary stage rather than their bodies.  That indirection is the early-cutoff
+firewall: editing a leaf in a way that leaves its summary artifact
+byte-identical leaves every caller's keys untouched, so callers are reused
+without being re-analyzed.
+
+Stored payloads are *line-relative* (diagnostic line numbers are rebased to
+the function's first line), so byte-identical function bodies at different
+file offsets share one entry; the driver re-absolutizes on probe.
 
 Entries are stored wrapped with a SHA-256 checksum of the canonical-JSON
 payload.  A truncated, garbled, or bit-flipped file — crashed writer, bad
 sector, an overeager ``sed`` — is therefore *detected* at read time, evicted
-from disk, and counted, and the function is simply re-analyzed; it can never
-feed a corrupt report into a batch.  Reads that raise :class:`OSError`
+from disk, and counted, and the stage is simply recomputed; it can never
+feed a corrupt artifact into a batch.  Reads that raise :class:`OSError`
 (flaky network filesystems) are retried once before being treated as a
-miss.  ``verify()`` audits the whole directory on demand (the ``repro cache
-verify`` subcommand).
+miss.  ``verify()`` audits every stage directory on demand (the ``repro
+cache verify`` subcommand).
 """
 
 from __future__ import annotations
@@ -37,7 +43,23 @@ from repro.driver.faults import active_plan
 #: bump when the per-function report schema or analysis semantics change
 #: (2: parallel-for gained the sequential for's step/descending/re-read
 #: semantics, so cached simulation reports from version 1 may be stale)
-CACHE_VERSION = 5  # v5: per-function status field + checksummed entries
+CACHE_VERSION = 6  # v6: staged artifact store + line-relative payloads
+
+#: stage namespaces of the artifact store, one subdirectory each
+STAGES = (
+    "parse",
+    "typecheck",
+    "summary",
+    "analysis",
+    "loops",
+    "transforms",
+    "report",
+    "sim",
+    "manifest",
+)
+
+#: name of the (unchecksummed) per-run counter ledger at the store top level
+LEDGER_NAME = "last-run.json"
 
 
 def _sha(*parts: str) -> str:
@@ -58,7 +80,15 @@ def function_digests(
     graph: CallGraph,
     options_key: str,
 ) -> dict[str, str]:
-    """Per-function cache keys: own AST hash + transitive callee body hashes."""
+    """Per-function cache keys: own AST hash + transitive callee body hashes.
+
+    This is the *legacy* (parallel-path) keying: callee bodies, not summary
+    digests, so editing a leaf invalidates its whole caller chain.  The
+    staged engine's keys (see :mod:`repro.driver.stages`) firewall callers
+    through callee summary artifacts instead.  Stored payloads are
+    line-relative, so the function's file offset is deliberately *not* an
+    ingredient — byte-identical bodies at different offsets share one entry.
+    """
     types_src = "\n".join(unparse(t) for t in program.types)
     unparsed = {f.name: unparse(f) for f in program.functions}
     body_digests = {name: _sha("body", src) for name, src in unparsed.items()}
@@ -72,10 +102,6 @@ def function_digests(
             "function",
             str(CACHE_VERSION),
             options_key,
-            # diagnostics in the cached report carry absolute source lines,
-            # so a byte-identical function at a different offset (e.g. the
-            # same helper pasted into two corpus files) must not share a key
-            str(func.line or 0),
             types_src,
             unparsed[func.name],
             callee_part,
@@ -87,9 +113,19 @@ class CorruptEntryError(ValueError):
     """A cache file failed its integrity check."""
 
 
-def _payload_checksum(payload: dict) -> str:
+def payload_digest(payload: dict) -> str:
+    """SHA-256 of the canonical JSON of ``payload``.
+
+    Doubles as the integrity checksum of stored entries and as the artifact
+    digest callers fold into their own stage keys (the firewall test is
+    "is the callee's artifact byte-identical?" — i.e. digest-identical).
+    """
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# retained name: the checksum and the artifact digest are the same hash
+_payload_checksum = payload_digest
 
 
 def encode_entry(payload: dict) -> str:
@@ -116,10 +152,12 @@ def decode_entry(text: str) -> dict:
 
 
 class ResultCache:
-    """A flat directory of ``<digest>.json`` checksummed report payloads.
+    """A per-stage tree of ``<stage>/<digest>.json`` checksummed payloads.
 
-    ``directory=None`` disables the cache (every lookup misses, nothing is
-    written) so the driver code has a single code path.
+    ``directory=None`` disables the store (every lookup misses, nothing is
+    written) so the driver code has a single code path.  All read/write
+    methods take a ``stage`` namespace; the default ``"report"`` stage keeps
+    the legacy single-blob callers working unchanged.
     """
 
     def __init__(self, directory: str | Path | None):
@@ -129,30 +167,41 @@ class ResultCache:
         self.writes = 0
         self.evictions = 0  # corrupt entries detected and removed
         self.io_retries = 0  # reads that failed once and were retried
-        #: payloads already read (or written) this run; ``preload`` fills it
-        #: in bulk so the scheduler's per-function probes are dict lookups
-        self._memory: dict[str, dict] = {}
+        #: per-stage {"hits", "misses", "writes"} counters
+        self.stage_counters: dict[str, dict[str, int]] = {}
+        #: payloads already read (or written) this run, keyed (stage, key);
+        #: ``preload`` fills it in bulk so the scheduler's per-function
+        #: probes are dict lookups
+        self._memory: dict[tuple[str, str], dict] = {}
         #: per-key read-attempt counts (drives deterministic transient-I/O
         #: fault injection; harmless bookkeeping otherwise)
-        self._read_attempts: dict[str, int] = {}
+        self._read_attempts: dict[tuple[str, str], int] = {}
 
     @property
     def enabled(self) -> bool:
         return self.directory is not None
 
-    def _path(self, key: str) -> Path:
-        assert self.directory is not None
-        return self.directory / f"{key}.json"
+    def _counters(self, stage: str) -> dict[str, int]:
+        counters = self.stage_counters.get(stage)
+        if counters is None:
+            counters = self.stage_counters[stage] = {
+                "hits": 0, "misses": 0, "writes": 0,
+            }
+        return counters
 
-    def _load(self, key: str) -> dict | None:
+    def _path(self, key: str, stage: str) -> Path:
+        assert self.directory is not None
+        return self.directory / stage / f"{key}.json"
+
+    def _load(self, key: str, stage: str) -> dict | None:
         """Read + integrity-check one entry: transient ``OSError`` reads are
         retried once; a corrupt entry is evicted from disk; both (and a
-        missing file) come back as ``None`` — i.e. a miss, re-analyze."""
-        path = self._path(key)
+        missing file) come back as ``None`` — i.e. a miss, recompute."""
+        path = self._path(key, stage)
         plan = active_plan()
         for final in (False, True):
-            attempt = self._read_attempts.get(key, 0)
-            self._read_attempts[key] = attempt + 1
+            attempt = self._read_attempts.get((stage, key), 0)
+            self._read_attempts[(stage, key)] = attempt + 1
             try:
                 if plan.should_io_error(key, attempt):
                     raise OSError(f"injected transient I/O error reading {path.name}")
@@ -172,7 +221,7 @@ class ResultCache:
                 return None
         return None
 
-    def preload(self, keys) -> int:
+    def preload(self, keys, stage: str = "report") -> int:
         """Bulk-load ``keys`` into the in-memory layer; returns how many hit.
 
         The batch scheduler probes every function of a corpus up front; one
@@ -184,37 +233,42 @@ class ResultCache:
             return 0
         loaded = 0
         for key in keys:
-            if key in self._memory:
+            if (stage, key) in self._memory:
                 loaded += 1
                 continue
-            payload = self._load(key)
+            payload = self._load(key, stage)
             if payload is not None:
-                self._memory[key] = payload
+                self._memory[(stage, key)] = payload
                 loaded += 1
         return loaded
 
-    def get(self, key: str) -> dict | None:
+    def get(self, key: str, stage: str = "report") -> dict | None:
+        counters = self._counters(stage)
         if self.directory is None:
             self.misses += 1
+            counters["misses"] += 1
             return None
-        cached = self._memory.get(key)
+        cached = self._memory.get((stage, key))
         if cached is not None:
             self.hits += 1
+            counters["hits"] += 1
             return cached
-        payload = self._load(key)
+        payload = self._load(key, stage)
         if payload is None:
             self.misses += 1
+            counters["misses"] += 1
             return None
-        self._memory[key] = payload
+        self._memory[(stage, key)] = payload
         self.hits += 1
+        counters["hits"] += 1
         return payload
 
-    def put(self, key: str, payload: dict) -> None:
+    def put(self, key: str, payload: dict, stage: str = "report") -> None:
         if self.directory is None:
             return
-        self._memory[key] = payload
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
+        self._memory[(stage, key)] = payload
+        path = self._path(key, stage)
+        path.parent.mkdir(parents=True, exist_ok=True)
         text = encode_entry(payload)
         if active_plan().should_corrupt_cache(key, self.writes):
             # simulate a torn write: publish a truncated, garbled entry (the
@@ -232,46 +286,118 @@ class ResultCache:
             # is best-effort, so losing one write must not abort the batch
             return
         self.writes += 1
+        self._counters(stage)["writes"] += 1
+
+    # -- maintenance ---------------------------------------------------------
+    def _stage_dirs(self):
+        """Existing stage subdirectories (quarantine/ and the ledger are not
+        checksummed artifacts and must not be audited as such)."""
+        if self.directory is None:
+            return
+        for stage in STAGES:
+            stage_dir = self.directory / stage
+            if stage_dir.is_dir():
+                yield stage, stage_dir
 
     def verify(self, evict: bool = False) -> dict:
-        """Audit every entry on disk against its checksum.
+        """Audit every artifact on disk against its checksum.
 
         Returns ``{"checked", "ok", "corrupt": [{"file", "error"}, ...],
         "evicted"}``; with ``evict=True`` corrupt files are also removed (and
-        counted in :attr:`evictions`) so the next run re-analyzes them.
+        counted in :attr:`evictions`) so the next run recomputes them.
         """
         report: dict = {"checked": 0, "ok": 0, "corrupt": [], "evicted": 0}
-        if self.directory is None or not self.directory.exists():
-            return report
-        for path in sorted(self.directory.glob("*.json")):
-            report["checked"] += 1
-            try:
-                decode_entry(path.read_text())
-            except (OSError, CorruptEntryError) as exc:
-                report["corrupt"].append({"file": path.name, "error": str(exc)})
-                if evict:
-                    path.unlink(missing_ok=True)
-                    self._memory.pop(path.stem, None)
-                    self.evictions += 1
-                    report["evicted"] += 1
-            else:
-                report["ok"] += 1
+        for stage, stage_dir in self._stage_dirs():
+            for path in sorted(stage_dir.glob("*.json")):
+                report["checked"] += 1
+                try:
+                    decode_entry(path.read_text())
+                except (OSError, CorruptEntryError) as exc:
+                    report["corrupt"].append(
+                        {"file": f"{stage}/{path.name}", "error": str(exc)}
+                    )
+                    if evict:
+                        path.unlink(missing_ok=True)
+                        self._memory.pop((stage, path.stem), None)
+                        self.evictions += 1
+                        report["evicted"] += 1
+                else:
+                    report["ok"] += 1
         return report
 
     def clear(self) -> int:
-        """Delete every cached payload; returns the number removed."""
+        """Delete every cached artifact; returns the number removed."""
         self._memory.clear()
         if self.directory is None or not self.directory.exists():
             return 0
         removed = 0
+        for _, stage_dir in self._stage_dirs():
+            for path in stage_dir.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+            # scratch files orphaned by a crashed writer (pid-suffixed, so a
+            # later run never reuses them)
+            for tmp in stage_dir.glob("*.tmp"):
+                tmp.unlink(missing_ok=True)
+        # pre-v6 flat entries and the counter ledger live at the top level
         for path in self.directory.glob("*.json"):
             path.unlink(missing_ok=True)
-            removed += 1
-        # scratch files orphaned by a crashed writer (pid-suffixed, so a
-        # later run never reuses them)
+            if path.name != LEDGER_NAME:
+                removed += 1
         for tmp in self.directory.glob("*.tmp"):
             tmp.unlink(missing_ok=True)
         return removed
+
+    def entry_count(self, stage: str | None = None) -> int:
+        """Artifacts on disk, in one ``stage`` or across all stages."""
+        total = 0
+        for name, stage_dir in self._stage_dirs():
+            if stage is not None and name != stage:
+                continue
+            total += sum(1 for _ in stage_dir.glob("*.json"))
+        return total
+
+    def disk_usage(self, stage: str | None = None) -> int:
+        """Bytes on disk, in one ``stage`` or across all stages."""
+        total = 0
+        for name, stage_dir in self._stage_dirs():
+            if stage is not None and name != stage:
+                continue
+            for path in stage_dir.glob("*.json"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+        return total
+
+    # -- the run ledger (for `repro cache stats`) ----------------------------
+    def write_ledger(self, extra: dict | None = None) -> None:
+        """Persist this run's counters (plus ``extra``) to the store.
+
+        Best-effort and unchecksummed — the ledger is informational (the
+        ``repro cache stats`` subcommand's hit/firewall rates), never an
+        input to analysis.
+        """
+        if self.directory is None:
+            return
+        payload = dict(self.stats())
+        if extra:
+            payload.update(extra)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self.directory / f"{LEDGER_NAME}.{os.getpid()}.tmp"
+            tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+            tmp.replace(self.directory / LEDGER_NAME)
+        except OSError:
+            return
+
+    def read_ledger(self) -> dict | None:
+        if self.directory is None:
+            return None
+        try:
+            return json.loads((self.directory / LEDGER_NAME).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
 
     def stats(self) -> dict:
         return {
@@ -282,4 +408,12 @@ class ResultCache:
             "writes": self.writes,
             "evictions": self.evictions,
             "io_retries": self.io_retries,
+            "stages": {
+                stage: dict(counters)
+                for stage, counters in sorted(self.stage_counters.items())
+            },
         }
+
+
+#: the staged engine's preferred name for the same store
+ArtifactStore = ResultCache

@@ -11,7 +11,8 @@ Subcommands:
   programs, run each through the reference interpreter, the machine
   simulator and every applicable transform output, and diff the results.
 * ``corpus``  — list the programs of the built-in corpora.
-* ``cache``   — show, integrity-check (``verify``), or clear the result cache.
+* ``cache``   — show (``info``), integrity-check (``verify``), break down
+  per-stage (``stats``), or clear the content-addressed artifact store.
 * ``quarantine`` — list or replay poison-task quarantine records.
 
 Exit codes: 0 all-ok; 1 semantic failures in the report (analysis errors,
@@ -25,7 +26,9 @@ Examples::
     python -m repro analyze examples/corpus/list_sum.ptr --format json
     python -m repro analyze --corpus paper --task-timeout 60 --max-retries 3
     python -m repro analyze --corpus paper --inject-faults 'crash:rate=0.1,seed=7'
+    python -m repro analyze --corpus builtin --incremental
     python -m repro corpus
+    python -m repro cache stats
     python -m repro cache verify --evict
     python -m repro quarantine --replay .repro-cache/quarantine/foo.json
 """
@@ -81,6 +84,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes (default: cpu count capped at 8, here "
             f"{default_jobs()}; 1 runs inline with no worker pool)"
+        ),
+    )
+    analyze.add_argument(
+        "--incremental",
+        action="store_true",
+        help=(
+            "run the staged incremental engine (implies --jobs 1): reuse "
+            "per-stage artifacts from the cache across runs and report "
+            "reused/firewalled/recomputed counts"
         ),
     )
     analyze.add_argument(
@@ -214,9 +226,13 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "action",
         nargs="?",
-        choices=("info", "verify"),
+        choices=("info", "verify", "stats"),
         default="info",
-        help="info: entry count (default); verify: checksum every entry",
+        help=(
+            "info: entry count (default); verify: checksum every entry; "
+            "stats: per-stage artifact counts, bytes, and last-run "
+            "hit/firewall rates"
+        ),
     )
     cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     cache.add_argument("--clear", action="store_true", help="delete all cached results")
@@ -303,6 +319,14 @@ def render_text(report: BatchReport) -> str:
         f"({report.jobs} job(s), {report.effective_jobs} effective, "
         f"{report.elapsed_s:.2f}s)"
     )
+    if report.incremental is not None:
+        inc = report.incremental
+        lines.append(
+            "incremental: "
+            f"{inc['reused']} reused ({inc['firewalled']} firewalled), "
+            f"{inc['recomputed']} recomputed, {inc['dirty']} dirty, "
+            f"{inc['fixpoints_run']} fixpoint(s) run"
+        )
     resilience = report.resilience
     if resilience.any_faults():
         lines.append(
@@ -368,6 +392,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         # workers (fork and spawn both) inherit the environment
         os.environ[FAULTS_ENV_VAR] = args.inject_faults
 
+    if args.incremental:
+        # the staged engine is the inline path; the artifact store is what
+        # carries state between runs, so jobs>1 would be the legacy scheme
+        args.jobs = 1
     cache_dir = None if args.no_cache else args.cache_dir
     quarantine_dir = args.quarantine_dir
     if quarantine_dir is None and cache_dir is not None:
@@ -511,9 +539,47 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         )
         # corrupt entries still on disk are a problem; evicted ones are fixed
         return 1 if len(audit["corrupt"]) > audit["evicted"] else 0
-    directory = cache.directory
-    count = len(list(directory.glob("*.json"))) if directory and directory.exists() else 0
-    print(f"{args.cache_dir}: {count} cached result(s)")
+    if args.action == "stats":
+        return _cache_stats(cache, args.cache_dir)
+    print(f"{args.cache_dir}: {cache.entry_count()} cached result(s)")
+    return 0
+
+
+def _cache_stats(cache, cache_dir: str) -> int:
+    from repro.driver.cache import STAGES
+
+    total_count = 0
+    total_bytes = 0
+    rows = []
+    for stage in STAGES:
+        count = cache.entry_count(stage)
+        size = cache.disk_usage(stage)
+        total_count += count
+        total_bytes += size
+        if count:
+            rows.append((stage, count, size))
+    print(f"{cache_dir}: {total_count} artifact(s), {total_bytes} byte(s)")
+    for stage, count, size in rows:
+        print(f"  {stage:<10} {count:>6} artifact(s)  {size:>10} byte(s)")
+    ledger = cache.read_ledger()
+    if ledger is None:
+        print("last run: no ledger (run analyze with this cache first)")
+        return 0
+    executed = ledger.get("analyses_executed", 0)
+    hits = ledger.get("run_cache_hits", 0)
+    served = executed + hits
+    rate = f"{hits / served:.1%}" if served else "n/a"
+    print(f"last run: {hits}/{served} function(s) from cache (hit rate {rate})")
+    inc = ledger.get("incremental")
+    if inc:
+        reused = inc.get("reused", 0)
+        firewalled = inc.get("firewalled", 0)
+        fw_rate = f"{firewalled / reused:.1%}" if reused else "n/a"
+        print(
+            f"last run: {reused} reused, {firewalled} firewalled "
+            f"(firewall rate {fw_rate}), {inc.get('recomputed', 0)} recomputed, "
+            f"{inc.get('fixpoints_run', 0)} fixpoint(s)"
+        )
     return 0
 
 

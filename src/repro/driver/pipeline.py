@@ -1,24 +1,37 @@
 """The end-to-end per-program pipeline the batch driver runs.
 
-Two layers:
+Three layers:
 
-* :func:`analyze_function_job` — the unit of parallel fan-out and of
-  caching: parse → typecheck → path-matrix fixpoint → ADDS validation →
-  loop classification → transform applicability, for **one function**,
-  returned as a plain JSON-serializable dict (the worker pool and the
-  on-disk cache both speak dicts).
+* the **stage functions** (:func:`analysis_payload`, :func:`loops_payload`,
+  :func:`transforms_payload`, :func:`assemble_report`) — each computes one
+  separately cacheable artifact of the staged engine (fixpoint/validation
+  verdict, loop classes, transform applicability) with explicit inputs and
+  outputs;
+* :func:`analyze_function_job` — the unit of parallel fan-out: parse →
+  typecheck → path-matrix fixpoint → ADDS validation → loop classification →
+  transform applicability, for **one function**, returned as a plain
+  JSON-serializable dict (the worker pool and the on-disk cache both speak
+  dicts).  It is a thin composition of the stage functions, so the monolith
+  path and the staged incremental path cannot drift apart.
 * :func:`simulate_program` — the whole-program tail of the pipeline: run
   the original on the reference interpreter, strip-mine every parallelizable
   loop, re-run on the simulated multiprocessor, and report the speedup and
   whether the heaps agree (the paper's semantics-preservation check).
 
-Workers keep a small per-process cache of parsed programs and analysis
+Workers keep a small per-process LRU of parsed programs and analysis
 objects so analyzing the thirty functions of one program does not re-parse
 it thirty times.
+
+:func:`relativize_report` / :func:`absolutize_report` rebase every source
+line a report mentions against the function's first line, so the store holds
+offset-independent payloads (byte-identical bodies share one entry) while
+everything user-facing stays absolute.
 """
 
 from __future__ import annotations
 
+import re
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.lang.ast_nodes import Call, IntLit, Program
@@ -47,18 +60,21 @@ class PipelineOptions:
 
 
 # -- per-worker caches --------------------------------------------------------
-_PROGRAM_CACHE: dict[str, Program] = {}
-_ANALYSIS_CACHE: dict[tuple[str, str], PathMatrixAnalysis] = {}
+_PROGRAM_CACHE: "OrderedDict[str, Program]" = OrderedDict()
+_ANALYSIS_CACHE: "OrderedDict[tuple[str, str], PathMatrixAnalysis]" = OrderedDict()
 _CACHE_LIMIT = 64  # comfortably fits the bench corpus (sources are small)
 
 
-def _bounded(cache: dict, key, factory):
+def _bounded(cache: OrderedDict, key, factory):
+    """LRU lookup: hits move to the back, overflow evicts only the oldest."""
     value = cache.get(key)
-    if value is None:
-        if len(cache) >= _CACHE_LIMIT:
-            cache.clear()
-        value = factory()
-        cache[key] = value
+    if value is not None:
+        cache.move_to_end(key)
+        return value
+    value = factory()
+    cache[key] = value
+    if len(cache) > _CACHE_LIMIT:
+        cache.popitem(last=False)
     return value
 
 
@@ -76,6 +92,108 @@ def analysis_for(source: str, options: PipelineOptions) -> PathMatrixAnalysis:
     )
 
 
+# -- the pipeline stages ------------------------------------------------------
+def analysis_payload(
+    analysis: PathMatrixAnalysis, function: str, options: PipelineOptions
+) -> tuple[str, dict]:
+    """The fixpoint + ADDS-validation stage: ``(status, analysis-dict)``.
+
+    A *semantic* failure (the analysis rejected the function) comes back as
+    ``("error", {"error": ...})`` — distinct from the driver-level failure
+    statuses (timeout/crashed/quarantined).
+    """
+    try:
+        result = analysis.analyze_function(function, solver=options.solver)
+        final = result.final_matrix()
+    except AnalysisError as exc:
+        return "error", {"error": str(exc)}
+    return "ok", {
+        "iterations": result.iterations,
+        "blocks_transferred": result.blocks_transferred,
+        "exit_matrix": final.to_table(),
+        "violations": [str(v) for v in result.violations()],
+        "abstraction_valid": {
+            type_name: final.validation.is_valid_for(type_name)
+            for type_name in sorted(analysis.adds_types)
+        },
+        "error": None,
+    }
+
+
+def loops_payload(
+    program: Program,
+    function: str,
+    analysis: PathMatrixAnalysis,
+    options: PipelineOptions,
+) -> tuple[list[dict], list[int]]:
+    """The loop-classification stage.
+
+    Returns the per-loop entries (without transform outcomes — those are the
+    next stage's artifact) and the indices of the parallelizable loops the
+    transform stage should attempt.
+    """
+    entries: list[dict] = []
+    parallelizable: list[int] = []
+    for index, loop in enumerate(find_while_loops(program, function)):
+        test = classify_loop(
+            program, function, loop, use_adds=options.use_adds, analysis=analysis
+        )
+        entries.append(
+            {
+                "index": index,
+                "line": loop.line,
+                "classification": str(test.classification),
+                "traversal_var": test.traversal_var,
+                "traversal_field": test.traversal_field,
+                "reasons": list(test.reasons),
+            }
+        )
+        if test.parallelizable:
+            parallelizable.append(index)
+    return entries, parallelizable
+
+
+def transforms_payload(
+    program: Program, function: str, loop_indices: list[int]
+) -> dict:
+    """The transform-applicability stage, for the given parallelizable loops.
+
+    Keyed by the loop index as a string — the artifact round-trips through
+    JSON, where integer keys would silently become strings anyway.
+    """
+    return {
+        str(index): _transform_applicability(program, function, index)
+        for index in loop_indices
+    }
+
+
+def assemble_report(
+    function: str,
+    options: PipelineOptions,
+    summary: dict | None,
+    status: str,
+    analysis_dict: dict,
+    loop_entries: list[dict],
+    transforms: dict,
+) -> dict:
+    """Compose the stage artifacts into the legacy per-function report."""
+    report: dict = {
+        "function": function,
+        "status": status,
+        "solver": options.solver,
+        "summary": summary,
+        "analysis": analysis_dict,
+        "loops": [],
+    }
+    if status != "ok":
+        return report
+    for entry in loop_entries:
+        merged = dict(entry)
+        merged["transforms"] = transforms.get(str(entry["index"]), {})
+        report["loops"].append(merged)
+    return report
+
+
 # -- the per-function job -----------------------------------------------------
 def analyze_function_job(
     source: str, function: str, options: PipelineOptions
@@ -83,59 +201,25 @@ def analyze_function_job(
     """Analyze one function of ``source`` end to end; never raises.
 
     Unattended batch runs must finish: analysis failures are *reported* (the
-    ``error`` fields) rather than propagated.
+    ``error`` fields) rather than propagated.  This is exactly the stage
+    functions above run back to back, so a report computed here is
+    bit-identical to one the staged engine assembles from cached artifacts.
     """
     program = parsed_program(source)
     analysis = analysis_for(source, options)
-    report: dict = {
-        "function": function,
-        "status": "ok",
-        "solver": options.solver,
-        "summary": analysis.summaries[function].to_dict()
+    summary = (
+        analysis.summaries[function].to_dict()
         if function in analysis.summaries
-        else None,
-        "analysis": {},
-        "loops": [],
-    }
-
-    try:
-        result = analysis.analyze_function(function, solver=options.solver)
-        final = result.final_matrix()
-        report["analysis"] = {
-            "iterations": result.iterations,
-            "blocks_transferred": result.blocks_transferred,
-            "exit_matrix": final.to_table(),
-            "violations": [str(v) for v in result.violations()],
-            "abstraction_valid": {
-                type_name: final.validation.is_valid_for(type_name)
-                for type_name in sorted(analysis.adds_types)
-            },
-            "error": None,
-        }
-    except AnalysisError as exc:
-        # a *semantic* failure (the analysis rejected the function) — distinct
-        # from the driver-level failure statuses (timeout/crashed/quarantined)
-        report["status"] = "error"
-        report["analysis"] = {"error": str(exc)}
-        return report
-
-    for index, loop in enumerate(find_while_loops(program, function)):
-        test = classify_loop(
-            program, function, loop, use_adds=options.use_adds, analysis=analysis
-        )
-        entry: dict = {
-            "index": index,
-            "line": loop.line,
-            "classification": str(test.classification),
-            "traversal_var": test.traversal_var,
-            "traversal_field": test.traversal_field,
-            "reasons": list(test.reasons),
-            "transforms": {},
-        }
-        if test.parallelizable:
-            entry["transforms"] = _transform_applicability(program, function, index)
-        report["loops"].append(entry)
-    return report
+        else None
+    )
+    status, analysis_dict = analysis_payload(analysis, function, options)
+    if status != "ok":
+        return assemble_report(function, options, summary, status, analysis_dict, [], {})
+    entries, parallelizable = loops_payload(program, function, analysis, options)
+    transforms = transforms_payload(program, function, parallelizable)
+    return assemble_report(
+        function, options, summary, status, analysis_dict, entries, transforms
+    )
 
 
 def _transform_applicability(program: Program, function: str, index: int) -> dict:
@@ -161,6 +245,44 @@ def _transform_applicability(program: Program, function: str, index: int) -> dic
                 "notes": list(getattr(result, "notes", [])),
             }
     return outcomes
+
+
+# -- line-relative payloads ---------------------------------------------------
+_LINE_REF_RE = re.compile(r"line (\d+)")
+
+#: dict keys whose integer values are source line numbers
+_LINE_KEYS = frozenset({"line", "loop_line"})
+
+
+def _shift_lines(value, delta: int, key=None):
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and key in _LINE_KEYS:
+        return value + delta
+    if isinstance(value, str):
+        return _LINE_REF_RE.sub(
+            lambda m: f"line {int(m.group(1)) + delta}", value
+        )
+    if isinstance(value, list):
+        return [_shift_lines(v, delta, key) for v in value]
+    if isinstance(value, dict):
+        return {k: _shift_lines(v, delta, k) for k, v in value.items()}
+    return value
+
+
+def relativize_report(report: dict, base_line: int) -> dict:
+    """Rebase every source line in ``report`` to be relative to ``base_line``.
+
+    Applied at the store boundary only: cached payloads say "line 3 of this
+    function" so byte-identical bodies at different file offsets share one
+    artifact.  In-process and user-facing reports stay absolute.
+    """
+    return _shift_lines(report, 1 - base_line)
+
+
+def absolutize_report(report: dict, base_line: int) -> dict:
+    """Inverse of :func:`relativize_report` for the probing caller's offset."""
+    return _shift_lines(report, base_line - 1)
 
 
 # -- whole-program simulation -------------------------------------------------

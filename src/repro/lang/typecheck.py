@@ -334,3 +334,34 @@ class TypeChecker:
 def check_program(program: Program) -> CheckResult:
     """Run declaration checks and type inference over ``program``."""
     return TypeChecker(program).check()
+
+
+def inferred_return_type(
+    program: Program, result: CheckResult, name: str
+) -> str | None:
+    """The type a call to ``name`` is inferred to have, as a stable string.
+
+    This is the one ingredient of a caller's analysis that flows from a
+    callee *without* passing through its effect summary: ``_call_return_type``
+    reads the callee's return statements, so the callee's return type shapes
+    the caller's type environment.  The incremental engine therefore folds
+    this value into the callee's content-addressed summary artifact — an
+    edit that changes it must invalidate callers even when the effect summary
+    is untouched.  Returns ``None`` when nothing can be inferred (matching a
+    call site's inference result).
+    """
+    func = program.function_named(name)
+    if func is None:
+        return None
+    checker = TypeChecker(program)
+    checker.result = result
+    env = result.environments.get(name)
+    for stmt in iter_statements(func.body):
+        if isinstance(stmt, Return) and stmt.value is not None:
+            if env is not None:
+                ty = checker._expr_type(stmt.value, env)
+                if ty is not None:
+                    return str(ty)
+            if isinstance(stmt.value, New):
+                return str(PointerType(RecordType(stmt.value.type_name)))
+    return None

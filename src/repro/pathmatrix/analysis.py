@@ -40,7 +40,13 @@ from repro.lang.ast_nodes import (
 )
 from repro.lang.cfg import CFG, build_cfg
 from repro.lang.typecheck import check_program
-from repro.pathmatrix.interproc import FunctionSummary, summarize_program
+from repro.pathmatrix.interproc import (
+    FunctionSummary,
+    _call_argument_map,
+    condensed_sccs,
+    direct_summaries,
+    summarize_scc,
+)
 from repro.pathmatrix.matrix import PathMatrix, cellwise_equivalent
 from repro.pathmatrix.paths import PathEntry
 from repro.pathmatrix.rules import TransferContext, apply_block, apply_statement
@@ -48,6 +54,16 @@ from repro.pathmatrix.worklist import solve_roundrobin, solve_worklist
 
 
 MAX_FIXPOINT_ITERATIONS = 64
+
+#: process-wide count of fixpoints actually solved (memo hits excluded).
+#: The incremental engine's acceptance test — "editing one leaf re-runs
+#: exactly one fixpoint" — asserts against deltas of this counter.
+_FIXPOINT_RUNS = 0
+
+
+def fixpoint_run_count() -> int:
+    """Total path-matrix fixpoints solved in this process so far."""
+    return _FIXPOINT_RUNS
 
 
 class AnalysisError(RuntimeError):
@@ -122,22 +138,30 @@ class PathMatrixAnalysis:
         use_adds: bool = True,
         compute_summaries: bool = True,
         memoize_results: bool = False,
+        summaries: dict[str, FunctionSummary] | None = None,
     ):
         self.program = program
         self.use_adds = use_adds
-        # disabled while summaries are still being refined below; the batch
-        # driver opts in (it re-analyzes the same functions per loop), timing
-        # code must NOT (a memo hit would be measured instead of the solver)
-        self._result_memo: "dict[tuple[str, str], AnalysisResult] | None" = None
+        # memoization is safe while summaries are being refined below because
+        # every preserves_abstraction flip invalidates the affected
+        # component's entries (see refine_preservation).  The batch driver
+        # opts in (it re-analyzes the same functions per loop); timing code
+        # must NOT (a memo hit would be measured instead of the solver).
+        self._result_memo: "dict[tuple[str, str], AnalysisResult] | None" = (
+            {} if memoize_results else None
+        )
         self.check_result = check_program(program)
         self.adds_types = program_adds_types(program)
-        self.summaries: dict[str, FunctionSummary] = (
-            summarize_program(program) if compute_summaries else {}
-        )
-        if compute_summaries:
-            self._mark_abstraction_preserving_summaries()
-        if memoize_results:  # summaries are frozen from here on
-            self._result_memo = {}
+        if summaries is not None:
+            # an injected, already-final table: the staged incremental engine
+            # resolves summaries itself (from cached artifacts where
+            # possible) and hands the finished table in
+            self.summaries = summaries
+        elif compute_summaries:
+            self.summaries = {}
+            self._resolve_summaries()
+        else:
+            self.summaries = {}
 
     # -- context construction ------------------------------------------------
     def _context_for(self, func: FunctionDecl) -> TransferContext:
@@ -172,6 +196,13 @@ class PathMatrixAnalysis:
             summaries=self.summaries,
             use_adds=self.use_adds,
         )
+
+    def context_for(self, name: str) -> TransferContext:
+        """The transfer context ``analyze_function(name)`` would run under."""
+        func = self.program.function_named(name)
+        if func is None:
+            raise KeyError(f"no function named {name!r}")
+        return self._context_for(func)
 
     def initial_matrix(self, func: FunctionDecl, ctx: TransferContext) -> PathMatrix:
         """The matrix assumed on entry to ``func``.
@@ -239,6 +270,8 @@ class PathMatrixAnalysis:
         else:
             raise ValueError(f"unknown solver {solver!r}")
 
+        global _FIXPOINT_RUNS
+        _FIXPOINT_RUNS += 1
         result.iterations = stats.iterations
         result.blocks_transferred = stats.blocks_transferred
         result.entry_matrices = entry
@@ -269,56 +302,84 @@ class PathMatrixAnalysis:
                 stack.extend(callee_summary.callees)
         return seen
 
-    def _mark_abstraction_preserving_summaries(self) -> None:
-        """Mark summaries of functions that restore every abstraction they break.
+    def _resolve_summaries(self) -> None:
+        """Resolve transitive summaries bottom-up over the SCC condensation.
+
+        Produces the same table as :func:`summarize_program` followed by the
+        preservation marking, but one strongly connected component at a time:
+        each component's summaries (effects *and* ``preserves_abstraction``)
+        are final before any caller component is touched.  This is exactly
+        the unit the staged incremental engine content-addresses and caches,
+        so computing it the same way here keeps the inline and incremental
+        paths from drifting apart.
+        """
+        direct = direct_summaries(self.program)
+        call_maps = _call_argument_map(self.program)
+        order = [f.name for f in self.program.functions]
+        callee_graph = {name: set(direct[name].callees) for name in order}
+        for members in condensed_sccs(callee_graph, order):
+            resolved = summarize_scc(
+                self.program,
+                members,
+                self.summaries,
+                direct=direct,
+                call_maps=call_maps,
+            )
+            self.summaries.update(resolved)
+            self.refine_preservation(members)
+
+    def refine_preservation(self, members: list[str]) -> None:
+        """Settle ``preserves_abstraction`` for one resolved component.
 
         A function preserves the abstractions if its own path-matrix analysis
         finds no outstanding violation at its exit point.  (Temporary breaks
         inside the body — e.g. the subtree sharing during ``insert_particle``
-        — are fine.)  Recursive dependencies are handled by first assuming
-        preservation and then invalidating until a fixed point.
-
-        A function's verdict only depends on its own body and on the
-        ``preserves_abstraction`` flags of its (transitive) callees, so
-        verdicts are cached across rounds and recomputed only when a callee's
-        flag flipped in the previous round.  Only :class:`AnalysisError` is
-        treated as "does not preserve"; unexpected exceptions propagate so
-        real bugs surface.
+        — are fine.)  Members start optimistically ``True``; shape-changing
+        members are analyzed and flipped to ``False`` when invalid.  Callee
+        components below are already final, so only intra-component
+        dependencies can cascade, flips are one-directional (a ``False``
+        callee flag only ever makes a caller's verdict worse), and the round
+        count is bounded by the member count.  A flip invalidates the
+        memoized results of the whole component — they were computed under
+        the stale flag.  Only :class:`AnalysisError` is treated as "does not
+        preserve"; unexpected exceptions propagate so real bugs surface.
         """
-        for summary in self.summaries.values():
-            summary.preserves_abstraction = True
-        shape_changers = [
-            func
-            for func in self.program.functions
-            if (summary := self.summaries.get(func.name)) is not None
-            and summary.rearranges_shape
+        for name in members:
+            summary = self.summaries.get(name)
+            if summary is not None:
+                summary.preserves_abstraction = True
+        changers = [
+            name
+            for name in members
+            if (s := self.summaries.get(name)) is not None and s.rearranges_shape
         ]
-        verdicts: dict[str, bool] = {}
-        changed_last: set[str] | None = None  # None: first round, analyze everything
-        for _ in range(3):
-            changed: set[str] = set()
-            for func in shape_changers:
-                summary = self.summaries[func.name]
-                stale = (
-                    changed_last is None
-                    or func.name not in verdicts
-                    or bool(self._transitive_callees(func.name) & changed_last)
-                )
-                if stale:
-                    try:
-                        result = self.analyze_function(func.name)
-                    except AnalysisError:
-                        ok = False
-                    else:
-                        ok = result.final_matrix().validation.is_valid()
-                    verdicts[func.name] = ok
-                ok = verdicts[func.name]
+        if not changers:
+            return
+        self.invalidate_memo(members)
+        for _ in range(len(changers) + 1):
+            changed = False
+            for name in changers:
+                summary = self.summaries[name]
+                try:
+                    result = self.analyze_function(name)
+                except AnalysisError:
+                    ok = False
+                else:
+                    ok = result.final_matrix().validation.is_valid()
                 if summary.preserves_abstraction != ok:
                     summary.preserves_abstraction = ok
-                    changed.add(func.name)
+                    changed = True
             if not changed:
                 break
-            changed_last = changed
+            self.invalidate_memo(members)
+
+    def invalidate_memo(self, names) -> None:
+        """Drop memoized results for ``names`` — their inputs changed."""
+        if self._result_memo is None:
+            return
+        drop = set(names)
+        for key in [k for k in self._result_memo if k[0] in drop]:
+            del self._result_memo[key]
 
 
 # ---------------------------------------------------------------------------

@@ -15,7 +15,12 @@ call sites:
 * which parameters' reachable structure it may write through.
 
 Summaries are computed to a transitive fixed point over the (possibly
-recursive) call graph.
+recursive) call graph — either globally (:func:`summarize_program`) or one
+strongly connected component at a time (:func:`summarize_scc`), which is how
+both :class:`~repro.pathmatrix.analysis.PathMatrixAnalysis` and the staged
+incremental engine resolve them bottom-up: a component's summaries depend
+only on its members' bodies and on the already-final summaries of external
+callees, so they can be content-addressed and reused across edits.
 """
 
 from __future__ import annotations
@@ -250,6 +255,169 @@ def _call_argument_map(program: Program) -> dict[str, list[tuple[str, dict[int, 
                     edges.append((node.func, mapping))
         result[func.name] = edges
     return result
+
+
+def direct_summaries(program: Program) -> dict[str, FunctionSummary]:
+    """Direct (non-transitive) effect summaries of every function."""
+    pointer_fields = _pointer_field_names(program)
+    return {
+        f.name: _summarize_one(program, f, pointer_fields) for f in program.functions
+    }
+
+
+def condensed_sccs(callees: dict[str, set[str]], order: list[str]) -> list[list[str]]:
+    """Bottom-up strongly connected components of a callee graph.
+
+    ``order`` fixes the DFS root order (normally program declaration order);
+    every component appears before any component that calls into it, and the
+    members of each component come back sorted.  This is a dependency-free
+    sibling of the driver's condensation — the pathmatrix layer cannot import
+    :mod:`repro.driver.callgraph` without inverting the layering.
+    """
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+    defined = set(order)
+
+    def edges(name: str):
+        return iter(sorted(callees.get(name, set()) & defined))
+
+    for root in order:
+        if root in index_of:
+            continue
+        work = [(root, edges(root))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for callee in it:
+                if callee not in index_of:
+                    index_of[callee] = lowlink[callee] = counter
+                    counter += 1
+                    stack.append(callee)
+                    on_stack.add(callee)
+                    work.append((callee, edges(callee)))
+                    advanced = True
+                    break
+                if callee in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[callee])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(component))
+    return sccs
+
+
+def summarize_scc(
+    program: Program,
+    members: list[str],
+    external: dict[str, FunctionSummary],
+    direct: dict[str, FunctionSummary] | None = None,
+    call_maps: dict[str, list[tuple[str, dict[int, int]]]] | None = None,
+) -> dict[str, FunctionSummary]:
+    """Transitive summaries of one call-graph component, given its callees'.
+
+    ``members`` are the component's function names (one function, or a group
+    of mutually recursive ones); ``external`` holds the final summaries of
+    every function below the component in the bottom-up order.  Callees found
+    in neither (builtins) are skipped, exactly as in
+    :func:`summarize_program`, and the result is the same least fixpoint that
+    the global pass assigns the members — which is what lets summaries be
+    computed (and cached) one component at a time.
+
+    ``direct`` may supply precomputed :func:`direct_summaries` entries for
+    the members (they are refined in place); ``call_maps`` may supply a
+    precomputed :func:`_call_argument_map` so per-component calls do not
+    rescan the whole program.
+    """
+    if call_maps is None:
+        call_maps = _call_argument_map(program)
+    pointer_fields = None
+    summaries: dict[str, FunctionSummary] = {}
+    for name in members:
+        if direct is not None and name in direct:
+            summaries[name] = direct[name]
+            continue
+        func = program.function_named(name)
+        if func is None:
+            raise KeyError(f"no function named {name!r}")
+        if pointer_fields is None:
+            pointer_fields = _pointer_field_names(program)
+        summaries[name] = _summarize_one(program, func, pointer_fields)
+
+    def lookup(callee_name: str) -> FunctionSummary | None:
+        local = summaries.get(callee_name)
+        if local is not None:
+            return local
+        return external.get(callee_name)
+
+    changed = True
+    iterations = 0
+    while changed and iterations < len(members) + 5:
+        changed = False
+        iterations += 1
+        for name in members:
+            caller = summaries[name]
+            for callee_name, mapping in call_maps.get(name, ()):
+                callee = lookup(callee_name)
+                if callee is None:
+                    continue
+                for callee_idx, caller_idx in mapping.items():
+                    if (
+                        callee_idx in callee.pointer_params
+                        and caller_idx not in caller.pointer_params
+                    ):
+                        caller.pointer_params.add(caller_idx)
+                        changed = True
+        for name in members:
+            summary = summaries[name]
+            for callee_name in sorted(summary.callees):
+                callee = lookup(callee_name)
+                if callee is None:
+                    continue  # builtin
+                before = (
+                    len(summary.data_fields_written),
+                    len(summary.pointer_fields_written),
+                    len(summary.fields_read),
+                    summary.allocates,
+                    summary.rearranges_shape,
+                )
+                summary.data_fields_written |= callee.data_fields_written
+                summary.pointer_fields_written |= callee.pointer_fields_written
+                summary.fields_read |= callee.fields_read
+                summary.allocates = summary.allocates or callee.allocates
+                summary.rearranges_shape = (
+                    summary.rearranges_shape or callee.rearranges_shape
+                )
+                if not callee.is_read_only:
+                    summary.writes_through_unknown = True
+                after = (
+                    len(summary.data_fields_written),
+                    len(summary.pointer_fields_written),
+                    len(summary.fields_read),
+                    summary.allocates,
+                    summary.rearranges_shape,
+                )
+                if before != after:
+                    changed = True
+    return summaries
 
 
 def summarize_program(program: Program) -> dict[str, FunctionSummary]:

@@ -24,6 +24,12 @@ function touch(p) { p->coef = 1; return p; }
 """
 
 
+def _stage_entries(root):
+    """All checksummed artifacts under the staged store (the top-level
+    ledger is unchecksummed and not part of the audit surface)."""
+    return sorted(p for p in root.rglob("*.json") if p.parent != root)
+
+
 class TestChecksumCodec:
     def test_round_trip(self):
         payload = {"function": "f", "loops": [1, 2], "nested": {"a": None}}
@@ -60,14 +66,14 @@ class TestCorruptionRecovery:
     def test_corrupt_entry_is_evicted_and_reanalyzed(self, tmp_path):
         _, items, seeded = self._seed(tmp_path)
         assert seeded.analyses_executed == 1
-        (entry,) = tmp_path.glob("*.json")
-        entry.write_text("garbage {{{")
+        for entry in _stage_entries(tmp_path):
+            entry.write_text("garbage {{{")
         driver = BatchDriver(jobs=1, cache_dir=tmp_path, simulate=False)
         report = driver.analyze_corpus(items)
         assert report.cache_hits == 0
         assert report.analyses_executed == 1
-        assert report.resilience.cache_evictions == 1
-        # the rewritten entry is whole again
+        assert report.resilience.cache_evictions >= 1
+        # the rewritten entries are whole again
         driver = BatchDriver(jobs=1, cache_dir=tmp_path, simulate=False)
         warm = driver.analyze_corpus(items)
         assert warm.cache_hits == 1
@@ -76,20 +82,36 @@ class TestCorruptionRecovery:
     def test_corrupt_and_clean_reports_are_identical(self, tmp_path):
         _, items, seeded = self._seed(tmp_path)
         clean = {p.name: p.functions for p in seeded.programs}
-        (entry,) = tmp_path.glob("*.json")
-        entry.write_text(entry.read_text()[:40])
+        for entry in _stage_entries(tmp_path):
+            entry.write_text(entry.read_text()[:40])
         recovered = BatchDriver(jobs=1, cache_dir=tmp_path, simulate=False).analyze_corpus(items)
         assert {p.name: p.functions for p in recovered.programs} == clean
 
+    def test_corrupt_report_heals_from_stage_artifacts(self, tmp_path):
+        # losing only the assembled report does not cost a fixpoint: the
+        # engine reassembles it from the intact analysis/loops/transforms
+        # artifacts
+        _, items, seeded = self._seed(tmp_path)
+        clean = {p.name: p.functions for p in seeded.programs}
+        for entry in (tmp_path / "report").glob("*.json"):
+            entry.write_text("garbage {{{")
+        driver = BatchDriver(jobs=1, cache_dir=tmp_path, simulate=False)
+        report = driver.analyze_corpus(items)
+        assert {p.name: p.functions for p in report.programs} == clean
+        assert report.analyses_executed == 0
+        assert report.cache_hits == 1
+        assert report.resilience.cache_evictions == 1
+        assert report.incremental["fixpoints_run"] == 0
+
     def test_injected_write_corruption_converges(self, tmp_path, monkeypatch):
-        monkeypatch.setenv(FAULTS_ENV_VAR, "cache:writes=1")
+        monkeypatch.setenv(FAULTS_ENV_VAR, "cache:writes=99")
         _, items, seeded = self._seed(tmp_path)
         clean = {p.name: p.functions for p in seeded.programs}
         monkeypatch.delenv(FAULTS_ENV_VAR)
-        # first uninjected run detects the torn write, evicts, re-analyzes
+        # first uninjected run detects the torn writes, evicts, re-analyzes
         driver = BatchDriver(jobs=1, cache_dir=tmp_path, simulate=False)
         healed = driver.analyze_corpus(items)
-        assert healed.resilience.cache_evictions == 1
+        assert healed.resilience.cache_evictions >= 1
         assert healed.analyses_executed == 1
         assert {p.name: p.functions for p in healed.programs} == clean
         # second uninjected run is fully warm
@@ -107,12 +129,13 @@ class TestVerify:
     def test_verify_clean_cache(self, tmp_path):
         cache = self._seeded_cache(tmp_path)
         audit = cache.verify()
-        assert audit["checked"] == audit["ok"] == 1
+        assert audit["checked"] == audit["ok"] == len(_stage_entries(tmp_path))
+        assert audit["checked"] >= 1
         assert audit["corrupt"] == []
 
     def test_verify_reports_without_evicting(self, tmp_path):
         cache = self._seeded_cache(tmp_path)
-        (entry,) = tmp_path.glob("*.json")
+        entry = _stage_entries(tmp_path)[0]
         entry.write_text("nope")
         audit = cache.verify()
         assert len(audit["corrupt"]) == 1
@@ -121,7 +144,7 @@ class TestVerify:
 
     def test_verify_evicts_on_request(self, tmp_path):
         cache = self._seeded_cache(tmp_path)
-        (entry,) = tmp_path.glob("*.json")
+        entry = _stage_entries(tmp_path)[0]
         entry.write_text("nope")
         audit = cache.verify(evict=True)
         assert audit["evicted"] == 1

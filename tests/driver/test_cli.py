@@ -202,7 +202,8 @@ class TestOtherCommands:
         capsys.readouterr()
         assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
         assert "0 corrupt" in capsys.readouterr().out
-        victim = sorted(cache_dir.glob("*.json"))[0]
+        victim = sorted(cache_dir.rglob("*.json"))
+        victim = [p for p in victim if p.parent != cache_dir][0]
         victim.write_text("garbage")
         # detection without --evict leaves the file and exits 1
         assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 1
